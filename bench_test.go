@@ -1,0 +1,229 @@
+package hlts
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md §4). Each benchmark runs the full
+// pipeline for its experiment at 4 bits with a reduced fault sample so a
+// `go test -bench=.` pass stays tractable; cmd/hltsbench regenerates the
+// full-width tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/report"
+	"repro/internal/rtl"
+)
+
+// benchATPG is the reduced campaign used inside testing.B loops.
+func benchATPG(seed int64) atpg.Config {
+	cfg := atpg.DefaultConfig(seed)
+	cfg.SampleFaults = 250
+	cfg.RandomBatches = 2
+	cfg.SeqLen = 12
+	cfg.Restarts = 1
+	cfg.BacktrackLimit = 20
+	return cfg
+}
+
+// tableCell runs one (benchmark, method) cell of a table at 4 bits.
+func tableCell(b *testing.B, bench, method string) {
+	b.Helper()
+	g, err := dfg.ByName(bench, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := core.DefaultParams(4)
+	if bench == dfg.BenchDiffeq || bench == dfg.BenchPaulin {
+		par.LoopSignal = "exit"
+	}
+	res, err := core.Run(method, g, par)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := rtl.Generate(res.Design, 4, rtl.NormalMode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ares, err := atpg.Run(nl.C, benchATPG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(100*ares.Coverage, "cov%")
+	b.ReportMetric(float64(ares.TestCycles), "cycles")
+	b.ReportMetric(res.Area.Total, "area")
+}
+
+func benchmarkTable(b *testing.B, bench string) {
+	for _, method := range core.Methods() {
+		b.Run(method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tableCell(b, bench, method)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Ex regenerates Table 1 (the Ex benchmark: module and
+// register allocation, #mux, fault coverage, TG effort, test cycles).
+func BenchmarkTable1Ex(b *testing.B) { benchmarkTable(b, dfg.BenchEx) }
+
+// BenchmarkTable2Dct regenerates Table 2 (the Dct benchmark, including
+// the area column).
+func BenchmarkTable2Dct(b *testing.B) { benchmarkTable(b, dfg.BenchDct) }
+
+// BenchmarkTable3Diffeq regenerates Table 3 (the Diffeq benchmark).
+func BenchmarkTable3Diffeq(b *testing.B) { benchmarkTable(b, dfg.BenchDiffeq) }
+
+// BenchmarkFigure1SRDemo regenerates the Figure 1 rescheduling
+// demonstration (SR1/SR2 order choice).
+func BenchmarkFigure1SRDemo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2ExSchedule regenerates Figure 2: the Ex schedule under
+// the integrated synthesis algorithm.
+func BenchmarkFigure2ExSchedule(b *testing.B) {
+	cfg := report.DefaultConfig(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Schedule(dfg.BenchEx, 4, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Schedules regenerates Figure 3: the Dct and Diffeq
+// schedules under the integrated synthesis algorithm.
+func BenchmarkFigure3Schedules(b *testing.B) {
+	cfg := report.DefaultConfig(1)
+	for i := 0; i < b.N; i++ {
+		for _, bench := range []string{dfg.BenchDct, dfg.BenchDiffeq} {
+			if _, err := report.Schedule(bench, 4, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParamSweep regenerates the §5 parameter-sensitivity
+// observation: (k, α, β) over the Ex benchmark.
+func BenchmarkParamSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := report.ParameterSweep(dfg.BenchEx, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkAblationSelection isolates the pair-selection policy (balance
+// versus connectivity), the core design choice of paper §3.
+func BenchmarkAblationSelection(b *testing.B) {
+	g := dfg.Ex(4)
+	for _, sel := range []struct {
+		name string
+		s    core.SelectionPolicy
+	}{{"balance", core.SelectBalance}, {"connectivity", core.SelectConnectivity}} {
+		b.Run(sel.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par := core.DefaultParams(4)
+				par.Selection = sel.s
+				res, err := core.Synthesize(g, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Design.SelfLoops()), "selfloops")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReschedule isolates the rescheduling transformation
+// (SR merge-sort versus append versus frozen schedule), the design choice
+// of paper §4.3.
+func BenchmarkAblationReschedule(b *testing.B) {
+	g := dfg.Dct(4)
+	for _, rs := range []struct {
+		name string
+		r    core.ReschedulePolicy
+	}{
+		{"mergesortSR", core.RescheduleMergeSort},
+		{"append", core.RescheduleAppend},
+		{"frozen", core.RescheduleFrozen},
+	} {
+		b.Run(rs.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par := core.DefaultParams(4)
+				par.Reschedule = rs.r
+				res, err := core.Synthesize(g, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Design.Alloc.NumModules()), "modules")
+			}
+		})
+	}
+}
+
+// BenchmarkSynthesisAllBenchmarks measures the synthesis core alone
+// (no gate level, no ATPG) over the whole benchmark suite.
+func BenchmarkSynthesisAllBenchmarks(b *testing.B) {
+	for _, name := range dfg.BenchmarkNames() {
+		b.Run(name, func(b *testing.B) {
+			g, err := dfg.ByName(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			par := core.DefaultParams(8)
+			if name == dfg.BenchDiffeq || name == dfg.BenchPaulin {
+				par.LoopSignal = "exit"
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Synthesize(g, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGateLevelFaultSim measures the bit-parallel fault-simulation
+// substrate on an 8-bit synthesized Diffeq.
+func BenchmarkGateLevelFaultSim(b *testing.B) {
+	g := dfg.Diffeq(8)
+	par := core.DefaultParams(8)
+	par.LoopSignal = "exit"
+	res, err := core.Synthesize(g, par)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := rtl.Generate(res.Design, 8, rtl.NormalMode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchATPG(1)
+	cfg.MaxFrames = 2 // random phase dominated
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atpg.Run(nl.C, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example of the facade API in documentation form.
+func ExampleSynthesize() {
+	g, _ := LoadBenchmark(BenchEx, 4)
+	res, _ := Synthesize(g, DefaultParams(4))
+	fmt.Println(res.ExecTime, "control steps")
+	// Output: 4 control steps
+}

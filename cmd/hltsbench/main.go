@@ -1,0 +1,169 @@
+// Command hltsbench regenerates the paper's experiments: Tables 1-3
+// (Ex, Dct, Diffeq at 4/8/16 bits across the four synthesis flows),
+// Figures 1-3 (the SR1/SR2 rescheduling demonstration and the synthesized
+// schedules), the parameter-sensitivity sweep of §5, and the design-choice
+// ablations.
+//
+// Usage:
+//
+//	hltsbench -all                     # everything, text format
+//	hltsbench -table 2 -widths 4,8     # just Table 2 at 4 and 8 bits
+//	hltsbench -figure 3
+//	hltsbench -sweep -ablation
+//	hltsbench -all -markdown           # EXPERIMENTS.md body
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/atpg"
+	"repro/internal/dfg"
+	"repro/internal/report"
+)
+
+var tableBench = map[int]string{1: dfg.BenchEx, 2: dfg.BenchDct, 3: dfg.BenchDiffeq}
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "reproduce one table (1 = Ex, 2 = Dct, 3 = Diffeq)")
+		benchFlg = flag.String("bench", "", "run the table for an arbitrary benchmark (ewf, paulin, tseng, ...)")
+		figure   = flag.Int("figure", 0, "reproduce one figure (1 = SR demo, 2 = Ex schedule, 3 = Dct+Diffeq schedules)")
+		sweep    = flag.Bool("sweep", false, "run the (k, alpha, beta) parameter sweep")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
+		scanFlg  = flag.Bool("scan", false, "run the partial-scan extension study")
+		all      = flag.Bool("all", false, "run every table, figure, sweep and ablation")
+		widths   = flag.String("widths", "4,8,16", "comma-separated bit widths")
+		seed     = flag.Int64("seed", 1998, "experiment seed")
+		faults   = flag.Int("faults", 1500, "fault sample size per campaign")
+		parallel = flag.Int("parallel", 4, "concurrent experiment cells")
+		markdown = flag.Bool("markdown", false, "emit tables as markdown")
+	)
+	flag.Parse()
+
+	cfg := report.DefaultConfig(*seed)
+	cfg.Parallel = *parallel
+	var ws []int
+	for _, f := range strings.Split(*widths, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad width %q", f))
+		}
+		ws = append(ws, w)
+	}
+	cfg.Widths = ws
+	baseATPG := cfg.ATPGFor
+	cfg.ATPGFor = func(width int) atpg.Config {
+		c := baseATPG(width)
+		if *faults > 0 && *faults < c.SampleFaults {
+			c.SampleFaults = *faults
+		}
+		return c
+	}
+
+	ran := false
+	if *benchFlg != "" {
+		ran = true
+		fmt.Printf("--- Supplementary table (%s) ---\n", *benchFlg)
+		tbl, err := report.RunTable(*benchFlg, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+	if *all || *table > 0 {
+		for n := 1; n <= 3; n++ {
+			if !*all && *table != n {
+				continue
+			}
+			ran = true
+			bench := tableBench[n]
+			fmt.Printf("--- Table %d (%s) ---\n", n, bench)
+			tbl, err := report.RunTable(bench, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *markdown {
+				fmt.Println(tbl.Markdown())
+			} else {
+				fmt.Println(tbl.Render())
+			}
+		}
+	}
+	if *all || *figure == 1 {
+		ran = true
+		text, err := report.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- Figure 1 ---")
+		fmt.Println(text)
+	}
+	if *all || *figure == 2 {
+		ran = true
+		fmt.Println("--- Figure 2 (Ex schedule) ---")
+		text, err := report.Schedule(dfg.BenchEx, ws[0], cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	}
+	if *all || *figure == 3 {
+		ran = true
+		fmt.Println("--- Figure 3 (Dct and Diffeq schedules) ---")
+		for _, bench := range []string{dfg.BenchDct, dfg.BenchDiffeq} {
+			text, err := report.Schedule(bench, ws[0], cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(text)
+		}
+	}
+	if *all || *sweep {
+		ran = true
+		fmt.Println("--- Parameter sweep (paper §5 remark) ---")
+		for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
+			rows, err := report.ParameterSweep(bench, ws[0])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(report.RenderSweep(bench, rows))
+		}
+	}
+	if *all || *ablation {
+		ran = true
+		fmt.Println("--- Design-choice ablations ---")
+		for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
+			rows, err := report.Ablations(bench, ws[0])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(report.RenderAblations(bench, rows))
+		}
+	}
+	if *all || *scanFlg {
+		ran = true
+		fmt.Println("--- Partial-scan extension study (diffeq, 4-bit) ---")
+		text, err := report.ScanStudy(dfg.BenchDiffeq, 4, 4, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hltsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Package hlts is the public facade of the high-level test synthesis
+// system reproducing Yang & Peng, "An Efficient Algorithm to Integrate
+// Scheduling and Allocation in High-Level Test Synthesis" (DATE 1998).
+//
+// The pipeline it exposes:
+//
+//	behaviour (VHDL subset or built-in benchmark)
+//	   └── dfg.Graph                      CompileVHDL / LoadBenchmark
+//	        └── synthesis                 Synthesize / RunMethod
+//	             └── ETPN design          (schedule + allocation + Petri net control)
+//	                  └── gate netlist    Netlist
+//	                       └── ATPG       TestDesign
+//
+// Synthesize runs the paper's Algorithm 1: integrated scheduling and
+// allocation driven by controllability/observability balance, with
+// ΔC = α·ΔE + β·ΔH merger selection and SR1/SR2 merge-sort rescheduling.
+// The three baselines of the paper's evaluation (CAMAD, force-directed
+// scheduling + testable left-edge, mobility-path scheduling + testable
+// left-edge) run through RunMethod.
+package hlts
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/hdl"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/scan"
+)
+
+// Re-exported types: the facade's vocabulary.
+type (
+	// Graph is the behavioural data-flow graph IR.
+	Graph = dfg.Graph
+	// Params configures a synthesis run (k, α, β, latency slack, width...).
+	Params = core.Params
+	// Result is a synthesized design with its metrics.
+	Result = core.Result
+	// Netlist is a generated gate-level implementation.
+	Netlist = rtl.Netlist
+	// ATPGConfig tunes a test-generation campaign.
+	ATPGConfig = atpg.Config
+	// ATPGResult reports fault coverage, effort and test length.
+	ATPGResult = atpg.Result
+	// Table is a reproduced experiment table.
+	Table = report.Table
+	// ExperimentConfig tunes table reproduction.
+	ExperimentConfig = report.Config
+)
+
+// Synthesis method names (the rows of the paper's tables).
+const (
+	MethodCAMAD     = core.MethodCAMAD
+	MethodApproach1 = core.MethodApproach1
+	MethodApproach2 = core.MethodApproach2
+	MethodOurs      = core.MethodOurs
+)
+
+// Benchmark names.
+const (
+	BenchEx     = dfg.BenchEx
+	BenchDct    = dfg.BenchDct
+	BenchDiffeq = dfg.BenchDiffeq
+	BenchEWF    = dfg.BenchEWF
+	BenchPaulin = dfg.BenchPaulin
+	BenchTseng  = dfg.BenchTseng
+)
+
+// Benchmarks lists the built-in HLS benchmarks.
+func Benchmarks() []string { return dfg.BenchmarkNames() }
+
+// LoadBenchmark constructs a built-in benchmark at the given bit width.
+func LoadBenchmark(name string, width int) (*Graph, error) { return dfg.ByName(name, width) }
+
+// CompileVHDL compiles a behavioural VHDL-subset description into a
+// data-flow graph.
+func CompileVHDL(src string, width int) (*Graph, error) { return hdl.Compile(src, width) }
+
+// DefaultParams returns the paper's default synthesis parameters
+// (k, α, β) = (3, 2, 1) at the given width.
+func DefaultParams(width int) Params { return core.DefaultParams(width) }
+
+// Synthesize runs the paper's integrated test synthesis (Algorithm 1).
+func Synthesize(g *Graph, p Params) (*Result, error) { return core.Synthesize(g, p) }
+
+// RunMethod runs the named synthesis flow: MethodOurs or one of the
+// paper's three baselines.
+func RunMethod(method string, g *Graph, p Params) (*Result, error) { return core.Run(method, g, p) }
+
+// Methods lists the four synthesis flows in the paper's table order.
+func Methods() []string { return core.Methods() }
+
+// GenerateNetlist produces the gate-level implementation of a synthesized
+// design. With testMode true the data-path control lines become test-mode
+// primary inputs (the paper's modifiable-controller assumption); otherwise
+// a one-hot FSM controller is generated from the control Petri net.
+func GenerateNetlist(r *Result, width int, testMode bool) (*Netlist, error) {
+	mode := rtl.NormalMode
+	if testMode {
+		mode = rtl.TestMode
+	}
+	return rtl.Generate(r.Design, width, mode)
+}
+
+// SelectScanRegisters greedily chooses up to max partial-scan registers
+// for a synthesized design, guided by the testability analysis (see
+// package scan). It returns the chosen allocation register ids in
+// selection order and the mean-testability trajectory (index 0 = no
+// scan).
+func SelectScanRegisters(r *Result, max int) ([]int, []float64) {
+	sel := scan.Select(r.Design, r.Metrics.Config(), max, 1e-9)
+	return sel.Regs, sel.MeanTestability
+}
+
+// GenerateNetlistWithScan is GenerateNetlist plus a serial scan chain
+// through the given allocation registers.
+func GenerateNetlistWithScan(r *Result, width int, testMode bool, scanRegs []int) (*Netlist, error) {
+	mode := rtl.NormalMode
+	if testMode {
+		mode = rtl.TestMode
+	}
+	return rtl.GenerateWithScan(r.Design, width, mode, scanRegs)
+}
+
+// SelectBISTRegisters chooses registers to reconfigure for built-in
+// self-test: pattern generators (TPG) where controllability is weakest,
+// signature registers (MISR) where observability is weakest.
+func SelectBISTRegisters(r *Result, nTpg, nMisr int) (tpg, misr []int) {
+	return scan.SelectBIST(r.Design, r.Metrics, nTpg, nMisr)
+}
+
+// GenerateNetlistWithBIST is GenerateNetlist plus LFSR/MISR self-test
+// hardware on the selected registers (rtl.GenerateBIST).
+func GenerateNetlistWithBIST(r *Result, width int, tpg, misr []int) (*Netlist, error) {
+	return rtl.GenerateBIST(r.Design, width, rtl.NormalMode, tpg, misr)
+}
+
+// RunBIST evaluates a BIST netlist: the self-test session free-runs for
+// the given cycles and a fault counts as detected when its final MISR
+// signature differs from the good machine's.
+func RunBIST(n *Netlist, sampleFaults, cycles int) (*atpg.BISTOutcome, error) {
+	return atpg.RunBIST(n.C, sampleFaults, cycles)
+}
+
+// DefaultATPGConfig returns the campaign settings used by the experiment
+// harness, seeded for reproducibility.
+func DefaultATPGConfig(seed int64) ATPGConfig { return atpg.DefaultConfig(seed) }
+
+// TestDesign runs the stuck-at ATPG campaign (random phase plus
+// time-frame PODEM) on a generated netlist and reports fault coverage,
+// test-generation effort and test-application cycles — the three
+// testability columns of the paper's tables.
+func TestDesign(n *Netlist, cfg ATPGConfig) (*ATPGResult, error) {
+	if cfg.MaxFrames < 2*(n.Steps+1) {
+		cfg.MaxFrames = 2 * (n.Steps + 1)
+	}
+	return atpg.Run(n.C, cfg)
+}
+
+// DefaultExperimentConfig returns the experiment configuration
+// reproducing the paper's setup (widths 4/8/16, per-width (k,α,β)).
+func DefaultExperimentConfig(seed int64) ExperimentConfig { return report.DefaultConfig(seed) }
+
+// ReproduceTable regenerates a full experiment table (all four methods at
+// all configured widths) for a benchmark: Table 1 is BenchEx, Table 2
+// BenchDct, Table 3 BenchDiffeq.
+func ReproduceTable(bench string, cfg ExperimentConfig) (*Table, error) {
+	return report.RunTable(bench, cfg)
+}

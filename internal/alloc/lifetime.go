@@ -1,0 +1,106 @@
+// Package alloc implements data-path allocation for high-level synthesis:
+// variable lifetime analysis, classic and testability-modified left-edge
+// register allocation, module binding, and the allocation state mutated by
+// the paper's merger transformation.
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/sched"
+)
+
+// Interval is the storage lifetime of a value: it is written to its
+// register at the end of control step Birth and must be held through step
+// Death (its last read, or one step of residence for primary outputs).
+// Storage is occupied during the half-open step range (Birth, Death].
+type Interval struct {
+	Birth int
+	Death int
+}
+
+// Overlaps reports whether two storage intervals require simultaneous
+// storage. A value dying in step s and a value born at the end of step s
+// may share a register: the register loads the new value as the old one is
+// read for the last time.
+func Overlaps(a, b Interval) bool {
+	return a.Birth < b.Death && b.Birth < a.Death
+}
+
+// Lifetimes computes the storage interval of every register-allocated
+// value under schedule s. Constants are excluded (they are wired into the
+// data path, not stored). Primary inputs are loaded from their port at the
+// end of the step before their first use. Primary outputs are held for at
+// least one step after production so they can be observed.
+func Lifetimes(g *dfg.Graph, s sched.Schedule) map[dfg.ValueID]Interval {
+	out := make(map[dfg.ValueID]Interval)
+	for _, v := range g.Values() {
+		if v.Kind == dfg.ValConst {
+			continue
+		}
+		var birth int
+		switch v.Kind {
+		case dfg.ValInput:
+			first := s.Len + 1
+			for _, u := range v.Uses {
+				if st := s.Step[u]; st < first {
+					first = st
+				}
+			}
+			if len(v.Uses) == 0 {
+				continue // dead input: never stored
+			}
+			birth = first - 1
+		case dfg.ValTemp:
+			birth = s.Step[v.Def]
+		}
+		death := birth
+		for _, u := range v.Uses {
+			if st := s.Step[u]; st > death {
+				death = st
+			}
+		}
+		if v.IsOutput && death < birth+1 {
+			death = birth + 1
+		}
+		if death == birth {
+			// Value read only in the step right after production never
+			// rests in storage across a boundary... it still needs a
+			// register for one step to cross the clock edge.
+			death = birth + 1
+		}
+		out[v.ID] = Interval{Birth: birth, Death: death}
+	}
+	return out
+}
+
+// SequentialDistance returns how many control steps separate the death of
+// a and the birth of b; negative values mean the lifetimes overlap or abut
+// in the other order. It is used by the lifetime-serialization transforms.
+func SequentialDistance(a, b Interval) int { return b.Birth - a.Death }
+
+// VerifyDisjoint checks that every pair of values sharing a register has
+// disjoint lifetimes.
+func VerifyDisjoint(g *dfg.Graph, life map[dfg.ValueID]Interval, regOf map[dfg.ValueID]int) error {
+	byReg := map[int][]dfg.ValueID{}
+	for v, r := range regOf {
+		byReg[r] = append(byReg[r], v)
+	}
+	for r, vs := range byReg {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				a, aok := life[vs[i]]
+				b, bok := life[vs[j]]
+				if !aok || !bok {
+					continue
+				}
+				if Overlaps(a, b) {
+					return fmt.Errorf("alloc: values %s %v and %s %v overlap in register %d",
+						g.Value(vs[i]).Name, a, g.Value(vs[j]).Name, b, r)
+				}
+			}
+		}
+	}
+	return nil
+}

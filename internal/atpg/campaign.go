@@ -1,0 +1,316 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/gates"
+	"repro/internal/logicsim"
+)
+
+// Config tunes an ATPG campaign.
+type Config struct {
+	// Seed drives all randomness; campaigns are fully reproducible.
+	Seed int64
+	// SampleFaults caps the collapsed fault list by even sampling
+	// (0 = use every fault).
+	SampleFaults int
+	// RandomBatches is the number of 64-sequence random batches.
+	RandomBatches int
+	// SeqLen is the length (clock cycles) of each random sequence.
+	SeqLen int
+	// MaxFrames bounds the time-frame expansion of the deterministic
+	// phase; it should exceed the design's sequential depth.
+	MaxFrames int
+	// BacktrackLimit bounds PODEM's search per fault, frame count and
+	// restart.
+	BacktrackLimit int
+	// Restarts is the number of randomized PODEM restarts tried per fault
+	// and frame count after the deterministic attempt.
+	Restarts int
+}
+
+// DefaultConfig returns the campaign settings used by the experiment
+// harness.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		SampleFaults:   1500,
+		RandomBatches:  4,
+		SeqLen:         16,
+		MaxFrames:      8,
+		BacktrackLimit: 60,
+		Restarts:       4,
+	}
+}
+
+// Result reports a completed campaign — the three quantities of the
+// paper's Tables 1-3 plus diagnostics.
+type Result struct {
+	TotalFaults    int
+	RandomDetected int
+	DetDetected    int
+	Untestable     int // proven untestable within MaxFrames
+	Aborted        int // backtrack limit hit
+
+	// Coverage is detected/total over the (sampled) collapsed fault list.
+	Coverage float64
+	// Effort is the test-generation effort in kilo-gate-evaluations
+	// (random-phase simulation plus PODEM implications): the reproduction
+	// counterpart of the paper's "test generation time".
+	Effort int64
+	// TestCycles is the total test-application length in clock cycles of
+	// the compacted test set: the counterpart of "test generated cycle".
+	TestCycles int
+	// TestSet holds the compacted test set itself: each sequence is a list
+	// of per-cycle PI vectors (one uint64 per primary input; only bit 0 is
+	// meaningful). Replaying the set with Replay reproduces at least the
+	// campaign's detections; sum of sequence lengths equals TestCycles.
+	TestSet [][][]uint64
+}
+
+// A testSequence collects cycles of single-lane PI vectors.
+func extractLane(vectors [][]uint64, lane int) [][]uint64 {
+	out := make([][]uint64, len(vectors))
+	for t, v := range vectors {
+		row := make([]uint64, len(v))
+		for i, w := range v {
+			row[i] = (w >> uint(lane)) & 1
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// Detected returns the total number of detected faults.
+func (r *Result) Detected() int { return r.RandomDetected + r.DetDetected }
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("coverage %.2f%% (%d/%d faults; %d random + %d deterministic), effort %d kEval, %d test cycles",
+		100*r.Coverage, r.Detected(), r.TotalFaults, r.RandomDetected, r.DetDetected, r.Effort, r.TestCycles)
+}
+
+// Run executes a full campaign on the circuit: fault collapsing and
+// sampling, a random phase with fault dropping, then deterministic PODEM
+// over time frames for the remaining faults (each generated test is fault
+// simulated against the remaining list).
+func Run(c *gates.Circuit, cfg Config) (*Result, error) {
+	flist := fault.Sample(fault.Collapse(c), cfg.SampleFaults)
+	res := &Result{TotalFaults: len(flist)}
+	if len(flist) == 0 {
+		return res, nil
+	}
+	detected := make([]bool, len(flist))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Random phase: batches of 64 parallel sequences. For the compacted
+	// test-set length, each newly detected fault nominates the first lane
+	// that exposes it; the kept sequences are the union of nominated lanes.
+	var randGateEvals int64
+	for batch := 0; batch < cfg.RandomBatches; batch++ {
+		vectors := make([][]uint64, cfg.SeqLen)
+		for t := range vectors {
+			v := make([]uint64, len(c.Inputs))
+			for i := range v {
+				v[i] = rng.Uint64()
+			}
+			vectors[t] = v
+		}
+		lanes, evals, err := randomBatch(c, flist, detected, vectors)
+		if err != nil {
+			return nil, err
+		}
+		randGateEvals += evals
+		res.TestCycles += popcount(lanes) * cfg.SeqLen
+		for lane := 0; lane < 64; lane++ {
+			if lanes&(1<<uint(lane)) != 0 {
+				res.TestSet = append(res.TestSet, extractLane(vectors, lane))
+			}
+		}
+	}
+	for _, d := range detected {
+		if d {
+			res.RandomDetected++
+		}
+	}
+
+	// Deterministic phase: per fault, escalate the time-frame window; at
+	// each window run one deterministic PODEM attempt followed by
+	// randomized restarts (randomized backtrace choices escape the
+	// unproductive regions a fixed heuristic can wedge into).
+	frameSchedule := frameEscalation(cfg.MaxFrames)
+	var detImpl int64
+	for i := range flist {
+		if detected[i] {
+			continue
+		}
+		proven := false
+	search:
+		for _, frames := range frameSchedule {
+			for restart := 0; restart <= cfg.Restarts; restart++ {
+				var rng2 *rand.Rand
+				if restart > 0 {
+					rng2 = rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(restart)))
+				}
+				pr, err := podem(c, flist[i], frames, cfg.BacktrackLimit, rng2)
+				if err != nil {
+					return nil, err
+				}
+				detImpl += pr.Implications
+				if pr.Success {
+					detected[i] = true
+					res.DetDetected++
+					res.TestCycles += frames
+					// Fault-simulate the generated test against the
+					// remaining faults (test-set reuse / fault dropping).
+					vec := vectorsFromAssignment(c, pr.Vectors)
+					res.TestSet = append(res.TestSet, extractLane(vec, 0))
+					newly, err := logicsim.FaultSimIncremental(c, flist, detected, nil, vec, 0)
+					if err != nil {
+						return nil, err
+					}
+					res.DetDetected += newly
+					proven = true
+					break search
+				}
+				if !pr.Aborted {
+					// The decision tree was exhausted: within this frame
+					// window the fault is untestable regardless of search
+					// order; no point in restarting.
+					if frames == frameSchedule[len(frameSchedule)-1] {
+						res.Untestable++
+						proven = true
+						break search
+					}
+					break // escalate frames
+				}
+			}
+		}
+		if !proven && !detected[i] {
+			res.Aborted++
+		}
+	}
+	res.Coverage = float64(count(detected)) / float64(len(flist))
+	res.Effort = (randGateEvals + detImpl) / 1000
+	return res, nil
+}
+
+// randomBatch fault-simulates 64 parallel random sequences over the
+// undetected faults, marking detections and returning the mask of lanes
+// that detected at least one new fault.
+func randomBatch(c *gates.Circuit, flist []fault.Fault, detected []bool, vectors [][]uint64) (uint64, int64, error) {
+	good, err := logicsim.New(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	golden := good.Run(vectors)
+	bad, err := logicsim.New(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	var lanes uint64
+	var evals int64
+	nGates := int64(c.NumGates())
+	for i := range flist {
+		if detected[i] {
+			continue
+		}
+		bad.Fault = &flist[i]
+		bad.Reset()
+		for t, v := range vectors {
+			po := bad.Step(v)
+			evals += nGates
+			var diff uint64
+			for k, w := range po {
+				diff |= w ^ golden[t][k]
+			}
+			if diff != 0 {
+				detected[i] = true
+				lanes |= diff & (-diff) // nominate the lowest detecting lane
+				break
+			}
+		}
+	}
+	return lanes, evals, nil
+}
+
+// vectorsFromAssignment converts a PODEM PI assignment (per frame,
+// three-valued) into simulator vectors with don't-cares at 0.
+func vectorsFromAssignment(c *gates.Circuit, assign [][]int8) [][]uint64 {
+	out := make([][]uint64, len(assign))
+	for t, row := range assign {
+		v := make([]uint64, len(c.Inputs))
+		for k, val := range row {
+			if val == v1 {
+				v[k] = ^uint64(0)
+			}
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// frameEscalation returns the increasing frame counts tried per fault.
+func frameEscalation(maxFrames int) []int {
+	set := map[int]bool{}
+	var out []int
+	for _, f := range []int{2, 4, maxFrames} {
+		if f >= 1 && f <= maxFrames && !set[f] {
+			set[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Ints(out)
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+func count(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Replay applies a retained test set to the circuit and fault simulates
+// the given fault list, returning the number of detected faults. Each
+// sequence starts from reset. Replay independently verifies a campaign's
+// coverage claim: replaying Result.TestSet over the same (collapsed,
+// sampled) fault list detects at least Result.Detected() faults.
+func Replay(c *gates.Circuit, testSet [][][]uint64, flist []fault.Fault) (int, error) {
+	detected := make([]bool, len(flist))
+	for _, seq := range testSet {
+		// Widen single-lane vectors back to full words (lane 0).
+		wide := make([][]uint64, len(seq))
+		for t, row := range seq {
+			w := make([]uint64, len(row))
+			for i, b := range row {
+				if b&1 != 0 {
+					w[i] = ^uint64(0)
+				}
+			}
+			wide[t] = w
+		}
+		if _, err := logicsim.FaultSimIncremental(c, flist, detected, nil, wide, 0); err != nil {
+			return 0, err
+		}
+	}
+	return count(detected), nil
+}

@@ -1,0 +1,488 @@
+// Package atpg implements automatic test pattern generation for
+// synchronous gate-level netlists under the single stuck-at fault model:
+// a random phase (bit-parallel sequential fault simulation with fault
+// dropping) followed by a deterministic phase (PODEM over time-frame
+// expansion). The paper's evaluation metrics — fault coverage, test
+// generation time and test application cycles — are produced by the
+// campaign in campaign.go.
+package atpg
+
+import (
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/gates"
+)
+
+// Three-valued logic values.
+const (
+	v0 int8 = 0
+	v1 int8 = 1
+	vX int8 = 2
+)
+
+func inv3(v int8) int8 {
+	switch v {
+	case v0:
+		return v1
+	case v1:
+		return v0
+	}
+	return vX
+}
+
+// frameSim simulates the good and faulty circuits over T time frames with
+// three-valued logic. Frame 0 starts from the all-zero reset state.
+type frameSim struct {
+	c      *gates.Circuit
+	order  []int
+	frames int
+	flt    fault.Fault
+	// pi[t][k] is the assigned value of primary input k in frame t.
+	pi [][]int8
+	// good[t][g], bad[t][g] are the circuit values.
+	good, bad [][]int8
+	dffIx     map[int]int
+	piIx      map[int]int
+	rng       *rand.Rand
+	// obsDist[g] is the static fanout distance from gate g to the nearest
+	// primary output (crossing flip-flops freely); used to steer the
+	// D-frontier toward observable logic.
+	obsDist []int
+	fanout  [][]int
+	// implications counts gate evaluations, the ATPG effort measure.
+	implications int64
+}
+
+func newFrameSim(c *gates.Circuit, flt fault.Fault, frames int) (*frameSim, error) {
+	order, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	fs := &frameSim{c: c, order: order, frames: frames, flt: flt, dffIx: map[int]int{}, piIx: map[int]int{}}
+	for i, d := range c.DFFs {
+		fs.dffIx[d] = i
+	}
+	for i, id := range c.Inputs {
+		fs.piIx[id] = i
+	}
+	fs.fanout = make([][]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, in := range g.In {
+			fs.fanout[in] = append(fs.fanout[in], g.ID)
+		}
+	}
+	fs.obsDist = make([]int, len(c.Gates))
+	const inf = 1 << 29
+	for i := range fs.obsDist {
+		fs.obsDist[i] = inf
+	}
+	queue := make([]int, 0, len(c.Gates))
+	for _, o := range c.Outputs {
+		if fs.obsDist[o] == inf {
+			fs.obsDist[o] = 0
+			queue = append(queue, o)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, in := range c.Gates[id].In {
+			if fs.obsDist[in] > fs.obsDist[id]+1 {
+				fs.obsDist[in] = fs.obsDist[id] + 1
+				queue = append(queue, in)
+			}
+		}
+	}
+	fs.pi = make([][]int8, frames)
+	fs.good = make([][]int8, frames)
+	fs.bad = make([][]int8, frames)
+	for t := 0; t < frames; t++ {
+		fs.pi[t] = make([]int8, len(c.Inputs))
+		for k := range fs.pi[t] {
+			fs.pi[t][k] = vX
+		}
+		fs.good[t] = make([]int8, len(c.Gates))
+		fs.bad[t] = make([]int8, len(c.Gates))
+	}
+	return fs, nil
+}
+
+func eval3(kind gates.Kind, ins []int8) int8 {
+	switch kind {
+	case gates.KConst0:
+		return v0
+	case gates.KConst1:
+		return v1
+	case gates.KBuf:
+		return ins[0]
+	case gates.KNot:
+		return inv3(ins[0])
+	case gates.KAnd, gates.KNand:
+		out := v1
+		for _, x := range ins {
+			if x == v0 {
+				out = v0
+				break
+			}
+			if x == vX {
+				out = vX
+			}
+		}
+		if kind == gates.KNand {
+			out = inv3(out)
+		}
+		return out
+	case gates.KOr, gates.KNor:
+		out := v0
+		for _, x := range ins {
+			if x == v1 {
+				out = v1
+				break
+			}
+			if x == vX {
+				out = vX
+			}
+		}
+		if kind == gates.KNor {
+			out = inv3(out)
+		}
+		return out
+	case gates.KXor, gates.KXnor:
+		a, b := ins[0], ins[1]
+		if a == vX || b == vX {
+			return vX
+		}
+		out := a ^ b
+		if kind == gates.KXnor {
+			out = inv3(out)
+		}
+		return out
+	}
+	return vX
+}
+
+// simulate recomputes both circuits across all frames from the current PI
+// assignment.
+func (fs *frameSim) simulate() {
+	piIx := fs.piIx
+	var insG, insB []int8
+	for t := 0; t < fs.frames; t++ {
+		for _, id := range fs.order {
+			g := fs.c.Gates[id]
+			fs.implications++
+			var gv, bv int8
+			switch g.Kind {
+			case gates.KInput:
+				gv = fs.pi[t][piIx[id]]
+				bv = gv
+			case gates.KDFF:
+				if t == 0 {
+					gv, bv = v0, v0 // reset state
+				} else {
+					// Q in frame t is D of frame t-1, with a possible
+					// fault on the D pin.
+					d := g.In[0]
+					gv = fs.good[t-1][d]
+					bv = fs.bad[t-1][d]
+					if fs.flt.Gate == id && fs.flt.Pin == 0 {
+						bv = bool2v(fs.flt.Val)
+					}
+				}
+			default:
+				insG = insG[:0]
+				insB = insB[:0]
+				for pin, in := range g.In {
+					pg := fs.good[t][in]
+					pb := fs.bad[t][in]
+					if fs.flt.Gate == id && fs.flt.Pin == pin {
+						pb = bool2v(fs.flt.Val)
+					}
+					insG = append(insG, pg)
+					insB = append(insB, pb)
+				}
+				gv = eval3(g.Kind, insG)
+				bv = eval3(g.Kind, insB)
+			}
+			if fs.flt.Gate == id && fs.flt.Pin < 0 {
+				bv = bool2v(fs.flt.Val)
+			}
+			fs.good[t][id] = gv
+			fs.bad[t][id] = bv
+		}
+	}
+}
+
+func bool2v(b bool) int8 {
+	if b {
+		return v1
+	}
+	return v0
+}
+
+// detected reports whether any primary output in any frame shows a binary
+// good/bad difference.
+func (fs *frameSim) detected() bool {
+	for t := 0; t < fs.frames; t++ {
+		for _, o := range fs.c.Outputs {
+			g, b := fs.good[t][o], fs.bad[t][o]
+			if g != vX && b != vX && g != b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// siteNet returns the net whose good value determines fault activation:
+// the gate's output for output faults, the driving net for pin faults.
+func (fs *frameSim) siteNet() int {
+	if fs.flt.Pin < 0 {
+		return fs.flt.Gate
+	}
+	return fs.c.Gates[fs.flt.Gate].In[fs.flt.Pin]
+}
+
+// activated reports whether the fault is excited in some frame (the good
+// value at the fault site is the complement of the stuck value), and
+// whether excitation has become impossible (the site is bound to the
+// stuck value in every frame).
+func (fs *frameSim) activated() (bool, bool) {
+	site := fs.siteNet()
+	stuck := bool2v(fs.flt.Val)
+	conflict := true
+	for t := 0; t < fs.frames; t++ {
+		g := fs.good[t][site]
+		if g != vX && g != stuck {
+			return true, false
+		}
+		if g == vX {
+			conflict = false
+		}
+	}
+	return false, conflict
+}
+
+// objective returns a (gate, frame, value) goal for the good circuit, or
+// ok=false when no useful objective exists (D-frontier empty).
+func (fs *frameSim) objective() (gate, frame int, val int8, ok bool) {
+	// Activation first: make the good value at the fault site the
+	// complement of the stuck value.
+	act, _ := fs.activated()
+	if !act {
+		want := inv3(bool2v(fs.flt.Val))
+		site := fs.siteNet()
+		for t := 0; t < fs.frames; t++ {
+			if fs.good[t][site] == vX {
+				return site, t, want, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	// Propagation: among all D-frontier gates — X-output gates with a
+	// fault-effect input — pick the one statically closest to a primary
+	// output and set one of its X inputs to the non-controlling value.
+	bestGate, bestFrame := -1, -1
+	bestDist := 1 << 30
+	for t := 0; t < fs.frames; t++ {
+		for _, id := range fs.order {
+			g := fs.c.Gates[id]
+			if g.Kind == gates.KInput || g.Kind == gates.KDFF || g.Kind == gates.KConst0 || g.Kind == gates.KConst1 {
+				continue
+			}
+			if fs.good[t][id] != vX && fs.bad[t][id] != vX {
+				continue
+			}
+			hasD := false
+			for pin, in := range g.In {
+				a, b := fs.good[t][in], fs.bad[t][in]
+				if id == fs.flt.Gate && pin == fs.flt.Pin {
+					// The pin itself carries the fault: effective bad value
+					// is the stuck value.
+					b = bool2v(fs.flt.Val)
+				}
+				if a != vX && b != vX && a != b {
+					hasD = true
+					break
+				}
+			}
+			if !hasD {
+				continue
+			}
+			if fs.obsDist[id] < bestDist {
+				bestDist = fs.obsDist[id]
+				bestGate, bestFrame = id, t
+			}
+		}
+	}
+	if bestGate < 0 {
+		// No D-frontier: the excited frames are masked. Re-excite the
+		// fault in another frame whose site is still unjustified — a
+		// register fault may be observable only in a frame the first
+		// excitation cannot reach.
+		want := inv3(bool2v(fs.flt.Val))
+		site := fs.siteNet()
+		for t := 0; t < fs.frames; t++ {
+			if fs.good[t][site] == vX {
+				return site, t, want, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	g := fs.c.Gates[bestGate]
+	nc, has := nonControlling(g.Kind)
+	for _, in := range g.In {
+		if fs.good[bestFrame][in] == vX {
+			if has {
+				return in, bestFrame, nc, true
+			}
+			return in, bestFrame, v0, true // XOR-ish: either value works
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// nonControlling returns the value an input must take so as not to mask
+// the other inputs.
+func nonControlling(k gates.Kind) (int8, bool) {
+	switch k {
+	case gates.KAnd, gates.KNand:
+		return v1, true
+	case gates.KOr, gates.KNor:
+		return v0, true
+	default:
+		return vX, false
+	}
+}
+
+// backtrace walks an objective back to an unassigned primary input,
+// following X-valued paths in the good circuit and accounting for
+// inversions. It returns ok=false when every path dead-ends (e.g. into
+// the frame-0 reset state or a constant).
+func (fs *frameSim) backtrace(gate, frame int, val int8) (pi, piFrame int, piVal int8, ok bool) {
+	piIx := fs.piIx
+	id, t, v := gate, frame, val
+	for depth := 0; depth < len(fs.c.Gates)*fs.frames+8; depth++ {
+		g := fs.c.Gates[id]
+		switch g.Kind {
+		case gates.KInput:
+			k := piIx[id]
+			if fs.pi[t][k] != vX {
+				return 0, 0, 0, false // already bound; path dead
+			}
+			return k, t, v, true
+		case gates.KConst0, gates.KConst1:
+			return 0, 0, 0, false
+		case gates.KDFF:
+			if t == 0 {
+				return 0, 0, 0, false // reset state is fixed
+			}
+			id, t = g.In[0], t-1
+			continue
+		case gates.KNot, gates.KNand, gates.KNor, gates.KXnor:
+			v = inv3(v)
+		}
+		// Choose an X input to pursue; randomizing the choice across
+		// restarts diversifies the search.
+		var xs []int
+		for _, in := range g.In {
+			if fs.good[t][in] == vX {
+				xs = append(xs, in)
+			}
+		}
+		if len(xs) == 0 {
+			return 0, 0, 0, false
+		}
+		next := xs[0]
+		if fs.rng != nil && len(xs) > 1 {
+			next = xs[fs.rng.Intn(len(xs))]
+		}
+		// For XOR-like gates the required input value is unconstrained
+		// (other inputs may be known); any binary value can work. Keep v
+		// as the heuristic target.
+		id = next
+		if v == vX {
+			v = v0
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// podemResult is the outcome of a deterministic test-generation attempt.
+type podemResult struct {
+	Success      bool
+	Aborted      bool // backtrack limit hit: fault not proven untestable
+	Vectors      [][]int8
+	Implications int64
+	Backtracks   int
+}
+
+// podem runs PODEM for one fault over the given number of time frames,
+// with a backtrack limit. A non-nil rng randomizes backtrace path and
+// value choices, which lets a caller escape unproductive search regions by
+// restarting. On success, Vectors holds one PI assignment per frame (X
+// entries are don't-cares).
+func podem(c *gates.Circuit, flt fault.Fault, frames, backtrackLimit int, rng *rand.Rand) (*podemResult, error) {
+	fs, err := newFrameSim(c, flt, frames)
+	if err != nil {
+		return nil, err
+	}
+	fs.rng = rng
+	type decision struct {
+		pi, frame int
+		val       int8
+		flipped   bool
+	}
+	var stack []decision
+	res := &podemResult{}
+	for {
+		fs.simulate()
+		if fs.detected() {
+			res.Success = true
+			res.Vectors = fs.pi
+			res.Implications = fs.implications
+			return res, nil
+		}
+		_, conflict := fs.activated()
+		var gate, frame int
+		var val int8
+		objOK := false
+		if !conflict {
+			gate, frame, val, objOK = fs.objective()
+		}
+		advanced := false
+		if objOK {
+			if pi, pf, pv, ok := fs.backtrace(gate, frame, val); ok {
+				fs.pi[pf][pi] = pv
+				stack = append(stack, decision{pi, pf, pv, false})
+				advanced = true
+			}
+		}
+		if advanced {
+			continue
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				res.Implications = fs.implications
+				res.Backtracks++
+				return res, nil // exhausted: untestable within frames
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = inv3(top.val)
+				fs.pi[top.frame][top.pi] = top.val
+				res.Backtracks++
+				break
+			}
+			fs.pi[top.frame][top.pi] = vX
+			stack = stack[:len(stack)-1]
+		}
+		if res.Backtracks > backtrackLimit {
+			res.Aborted = true
+			res.Implications = fs.implications
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,881 @@
+// Package core implements the paper's primary contribution: the high-level
+// test synthesis algorithm that integrates operation scheduling and data
+// path allocation (Algorithm 1). Starting from a default schedule and a
+// one-to-one allocation, it iteratively selects k candidate pairs of
+// modules or registers under the controllability/observability balance
+// principle, estimates the incremental execution-time cost ΔE (control
+// Petri net critical path) and hardware cost ΔH (floorplan area) of each,
+// merges the pair with the smallest ΔC = α·ΔE + β·ΔH, and reschedules with
+// the merge-sort transformation guided by the SR1/SR2 testability rules.
+//
+// The package also provides the three reference flows the paper compares
+// against: the CAMAD-style connectivity-driven synthesis [14], Approach 1
+// (force-directed scheduling [11] + testable left-edge allocation [7]) and
+// Approach 2 (mobility-path scheduling + testable left-edge allocation
+// [6,7]).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/cost"
+	"repro/internal/dfg"
+	"repro/internal/etpn"
+	"repro/internal/sched"
+	"repro/internal/testability"
+)
+
+// SelectionPolicy chooses how candidate merge pairs are ranked.
+type SelectionPolicy int
+
+// Selection policies.
+const (
+	// SelectBalance ranks pairs by the controllability/observability
+	// balance principle (the paper's policy).
+	SelectBalance SelectionPolicy = iota
+	// SelectConnectivity ranks pairs by shared connections (conventional
+	// allocation; used by the CAMAD baseline and the selection ablation).
+	SelectConnectivity
+)
+
+// ReschedulePolicy chooses how the scheduling constraints imposed by a
+// merger are realized.
+type ReschedulePolicy int
+
+// Reschedule policies.
+const (
+	// RescheduleMergeSort is the paper's merge-sort transformation with the
+	// SR1/SR2 controllability/observability enhancement strategy.
+	RescheduleMergeSort ReschedulePolicy = iota
+	// RescheduleAppend serializes the second sequence after the first
+	// without testability guidance (the rescheduling ablation).
+	RescheduleAppend
+	// RescheduleFrozen forbids moving any operation: a merger is feasible
+	// only if the current schedule already satisfies its constraints (the
+	// phase-separated ablation: allocation cannot influence scheduling).
+	RescheduleFrozen
+)
+
+// Params configures a synthesis run.
+type Params struct {
+	// K is the number of candidate pairs examined per iteration (paper's
+	// k): small k puts more weight on the testability ranking.
+	K int
+	// Alpha weights ΔE and Beta weights ΔH in ΔC = α·ΔE + β·ΔH.
+	Alpha, Beta float64
+	// Slack is the number of control steps the schedule may grow beyond
+	// the initial (ASAP) length. The paper's area-optimized experiments
+	// correspond to Slack 0.
+	Slack int
+	// Width is the data-path bit width (4, 8 or 16 in the paper).
+	Width int
+	// LoopBound is the loop iteration count assumed by the critical-path
+	// estimate for looping behaviours.
+	LoopBound int
+	// LoopSignal names the condition output closing the behavioural loop;
+	// empty for straight-line behaviours.
+	LoopSignal string
+	// Class maps operation kinds to module classes (sched.ExactClass when
+	// nil).
+	Class sched.ClassFunc
+	// Lib is the module library for ΔH (cost.DefaultLibrary when nil).
+	Lib *cost.Library
+	// TCfg configures testability analysis.
+	TCfg testability.Config
+	// Selection and Reschedule select the algorithm variant; the zero
+	// values are the paper's algorithm.
+	Selection  SelectionPolicy
+	Reschedule ReschedulePolicy
+	// NoExplore disables the tie-break exploration: by default Synthesize
+	// runs the greedy merger under three deterministic tie-break policies
+	// and keeps the design with the lowest final α·E + β·H (the authors
+	// applied Algorithm 1 manually and resolved near-ties by judgement;
+	// the exploration recovers that judgement mechanically).
+	NoExplore bool
+	// ModulesOnly restricts merging to functional modules, leaving every
+	// value in its own register — the allocation visible in the paper's
+	// CAMAD table rows (R: a, R: b, ...).
+	ModulesOnly bool
+}
+
+// DefaultParams returns the parameter set (k,α,β) = (3,2,1) the paper uses
+// for 4-bit runs, with testability defaults.
+func DefaultParams(width int) Params {
+	return Params{
+		K: 3, Alpha: 2, Beta: 1,
+		Slack: 0, Width: width, LoopBound: 4,
+		TCfg: testability.DefaultConfig(),
+	}
+}
+
+func (p Params) class() sched.ClassFunc {
+	if p.Class == nil {
+		return sched.ExactClass
+	}
+	return p.Class
+}
+
+func (p Params) lib() *cost.Library {
+	if p.Lib == nil {
+		return cost.DefaultLibrary()
+	}
+	return p.Lib
+}
+
+// Result is a completed synthesis.
+type Result struct {
+	Method string
+	Design *etpn.Design
+	// ExecTime is the control-part critical path in control steps.
+	ExecTime int
+	// Area is the floorplan-based hardware cost estimate.
+	Area cost.Estimate
+	// Mux summarizes required multiplexing.
+	Mux etpn.MuxStats
+	// Metrics is the final testability analysis.
+	Metrics *testability.Metrics
+	// Trace logs one line per committed merger.
+	Trace []string
+}
+
+// state carries the evolving design through the synthesis loop.
+type state struct {
+	g     *dfg.Graph
+	prob  *sched.Problem
+	s     sched.Schedule
+	a     *alloc.Allocation
+	life  map[dfg.ValueID]alloc.Interval
+	d     *etpn.Design
+	par   Params
+	execT int
+	area  cost.Estimate
+}
+
+// build refreshes lifetimes, the ETPN design, execution time and area from
+// the current schedule and allocation.
+func (st *state) build() error {
+	st.life = alloc.Lifetimes(st.g, st.s)
+	if err := st.a.Verify(st.g, st.s, st.par.class(), st.life); err != nil {
+		return err
+	}
+	d, err := etpn.Build(st.g, st.s, st.a, st.life, etpn.Options{LoopSignal: st.par.LoopSignal})
+	if err != nil {
+		return err
+	}
+	st.d = d
+	et, err := d.ExecutionTime(st.par.LoopBound)
+	if err != nil {
+		return err
+	}
+	st.execT = et
+	st.area = cost.EstimateDesign(d, st.par.lib(), st.par.Width)
+	return nil
+}
+
+func (st *state) clone() *state {
+	c := *st
+	c.prob = st.prob.Clone()
+	c.s = st.s.Clone()
+	c.a = st.a.Clone()
+	return &c
+}
+
+// initialState performs step 1 of Algorithm 1: a simple default
+// scheduling (ASAP) and allocation (one node per operation and value).
+func initialState(g *dfg.Graph, par Params) (*state, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	prob := sched.NewProblem(g)
+	s, err := prob.ASAP()
+	if err != nil {
+		return nil, err
+	}
+	prob.MaxLen = s.Len + par.Slack
+	life := alloc.Lifetimes(g, s)
+	a := alloc.Default(g, par.class(), life)
+	// Bind the problem's module constraint map to the allocation.
+	for op, m := range a.ModuleOf {
+		prob.ModuleOf[op] = m
+	}
+	st := &state{g: g, prob: prob, s: s, a: a, par: par}
+	if err := st.build(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// candidate is a potential merger.
+type candidate struct {
+	isModule bool
+	i, j     int // allocation ids
+	score    float64
+}
+
+// rankCandidates lists mergeable module pairs and register pairs, each
+// ranked by the configured selection policy, best first.
+func (st *state) rankCandidates(m *testability.Metrics, tp tiePolicy) (mods, regs []candidate) {
+	var cands []candidate
+	for i := 0; i < len(st.a.Modules); i++ {
+		for j := i + 1; j < len(st.a.Modules); j++ {
+			if st.a.Modules[i].Class != st.a.Modules[j].Class {
+				continue
+			}
+			var sc float64
+			if st.par.Selection == SelectConnectivity {
+				sc = float64(alloc.Connectivity(st.g, st.a, i, j))
+			} else {
+				u, v := st.d.ModNode(i), st.d.ModNode(j)
+				// Module merging favours data-dependent operation groups:
+				// dependent operations are already serialized, so sharing a
+				// module between them imposes no new scheduling constraint
+				// (and the paper's own module allocations pair
+				// producer-consumer chains: N26/N31, N29/N33 in Table 3).
+				sc = m.BalanceScore(u, v)
+				if tp != tieNoDepBonus {
+					sc += 0.3 * float64(st.modDependencePairs(i, j))
+				}
+			}
+			cands = append(cands, candidate{isModule: true, i: i, j: j, score: sc})
+		}
+	}
+	for i := 0; i < len(st.a.Regs) && !st.par.ModulesOnly; i++ {
+		for j := i + 1; j < len(st.a.Regs); j++ {
+			var sc float64
+			if st.par.Selection == SelectConnectivity {
+				sc = float64(alloc.RegConnectivity(st.g, st.a, i, j))
+			} else {
+				u, v := st.d.RegNode(i), st.d.RegNode(j)
+				// Balance principle tempered by the loop-avoidance goal of
+				// §3: merging a register pair connected through one module
+				// creates a self-loop, the structure testable allocation
+				// exists to avoid. Pairs whose lifetimes are already
+				// disjoint under the current schedule rank first — their
+				// serialization arcs are consistent with the schedule, so
+				// they cannot cascade into infeasibility (they are the
+				// merges a left-edge packing would make), and the balance
+				// score chooses among them.
+				sc = m.BalanceScore(u, v) - 0.5*float64(st.regMergeSelfLoops(i, j))
+				if st.regsDisjointNow(i, j) {
+					sc += 2
+				}
+			}
+			cands = append(cands, candidate{isModule: false, i: i, j: j, score: sc})
+		}
+	}
+	sort.SliceStable(cands, func(x, y int) bool { return cands[x].score > cands[y].score })
+	for _, c := range cands {
+		if c.isModule {
+			mods = append(mods, c)
+		} else {
+			regs = append(regs, c)
+		}
+	}
+	return mods, regs
+}
+
+// regsDisjointNow reports whether every cross pair of values of registers
+// i and j has disjoint lifetimes under the current schedule.
+func (st *state) regsDisjointNow(i, j int) bool {
+	for _, va := range st.a.Regs[i].Vals {
+		for _, vb := range st.a.Regs[j].Vals {
+			la, aok := st.life[va]
+			lb, bok := st.life[vb]
+			if aok && bok && alloc.Overlaps(la, lb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// regMergeSelfLoops counts the self-loops merging registers i and j would
+// create: modules that read a value of one register and produce a value of
+// the other would then read and write the same register.
+func (st *state) regMergeSelfLoops(i, j int) int {
+	readersOf := func(r int) map[int]bool {
+		set := map[int]bool{}
+		for _, v := range st.a.Regs[r].Vals {
+			for _, u := range st.g.Value(v).Uses {
+				set[st.a.ModuleOf[u]] = true
+			}
+		}
+		return set
+	}
+	writersOf := func(r int) map[int]bool {
+		set := map[int]bool{}
+		for _, v := range st.a.Regs[r].Vals {
+			if d := st.g.Value(v).Def; d != dfg.NoNode {
+				set[st.a.ModuleOf[d]] = true
+			}
+		}
+		return set
+	}
+	loops := 0
+	ri, rj := readersOf(i), readersOf(j)
+	wi, wj := writersOf(i), writersOf(j)
+	for m := range ri {
+		if wj[m] {
+			loops++
+		}
+	}
+	for m := range rj {
+		if wi[m] {
+			loops++
+		}
+	}
+	return loops
+}
+
+// modDependencePairs counts the direct data dependences between the
+// operations of modules i and j: each such pair is already serialized by
+// the data flow, so merging costs nothing in scheduling freedom.
+func (st *state) modDependencePairs(i, j int) int {
+	inJ := map[dfg.NodeID]bool{}
+	for _, op := range st.a.Modules[j].Ops {
+		inJ[op] = true
+	}
+	pairs := 0
+	for _, op := range st.a.Modules[i].Ops {
+		for _, s := range st.g.Succs(op) {
+			if inJ[s] {
+				pairs++
+			}
+		}
+		for _, p := range st.g.Preds(op) {
+			if inJ[p] {
+				pairs++
+			}
+		}
+	}
+	return pairs
+}
+
+// modMergeSelfLoops counts the self-loops merging modules i and j would
+// create: registers written by one module and read by the other would then
+// feed the merged module's own output back to its input.
+func (st *state) modMergeSelfLoops(i, j int) int {
+	reads := func(mod int) map[int]bool {
+		set := map[int]bool{}
+		for _, op := range st.a.Modules[mod].Ops {
+			for _, v := range st.g.Node(op).In {
+				if r, ok := st.a.RegOf[v]; ok {
+					set[r] = true
+				}
+			}
+		}
+		return set
+	}
+	writes := func(mod int) map[int]bool {
+		set := map[int]bool{}
+		for _, op := range st.a.Modules[mod].Ops {
+			if r, ok := st.a.RegOf[st.g.Node(op).Out]; ok {
+				set[r] = true
+			}
+		}
+		return set
+	}
+	loops := 0
+	ri, rj := reads(i), reads(j)
+	wi, wj := writes(i), writes(j)
+	for r := range ri {
+		if wj[r] {
+			loops++
+		}
+	}
+	for r := range rj {
+		if wi[r] {
+			loops++
+		}
+	}
+	return loops
+}
+
+// tiePolicy resolves near-ties in ΔC among a block's feasible candidates
+// and selects the scoring variant used for candidate ranking.
+type tiePolicy int
+
+const (
+	tieHighScore tiePolicy = iota // prefer the higher balance score
+	tieLowScore                   // prefer the lower balance score
+	tieStrict                     // no tolerance: strict minimum ΔC
+	// tieNoDepBonus ranks module pairs without the data-dependence bonus,
+	// letting pure balance + ΔC pick partitions the bonus would suppress.
+	tieNoDepBonus
+)
+
+// Synthesize runs Algorithm 1 on g and returns the synthesized design.
+// Unless par.NoExplore is set, the greedy merger is run under three
+// deterministic tie-break policies and the design with the smallest final
+// α·E + β·H wins (ties on that, in turn, go to the fewer-self-loops
+// design).
+func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
+	if par.NoExplore {
+		return synthesizeOnce(g, par, tieHighScore)
+	}
+	var best *Result
+	var bestCost float64
+	for _, tp := range []tiePolicy{tieHighScore, tieLowScore, tieStrict, tieNoDepBonus} {
+		r, err := synthesizeOnce(g, par, tp)
+		if err != nil {
+			return nil, err
+		}
+		c := par.Alpha*float64(r.ExecTime) + par.Beta*r.Area.Total
+		var better bool
+		switch {
+		case best == nil:
+			better = true
+		default:
+			// Within a 3% cost band the design with fewer self-loops wins
+			// (the paper weighs loop avoidance alongside area, §3); outside
+			// it, cost decides.
+			tol := 0.03 * absf(bestCost)
+			switch {
+			case c < bestCost-tol:
+				better = true
+			case c <= bestCost+tol && r.Design.SelfLoops() < best.Design.SelfLoops():
+				better = true
+			case c <= bestCost+tol && r.Design.SelfLoops() == best.Design.SelfLoops() && c < bestCost:
+				better = true
+			}
+		}
+		if better {
+			best, bestCost = r, c
+		}
+	}
+	return best, nil
+}
+
+func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy) (*Result, error) {
+	st, err := initialState(g, par)
+	if err != nil {
+		return nil, err
+	}
+	k := par.K
+	if k <= 0 {
+		k = 3
+	}
+	var trace []string
+	for iter := 0; ; iter++ {
+		if iter > g.NumNodes()+g.NumValues()+8 {
+			return nil, fmt.Errorf("core: merger loop failed to terminate")
+		}
+		m := testability.Analyze(st.d, par.TCfg)
+		modCands, regCands := st.rankCandidates(m, tp)
+		if len(modCands)+len(regCands) == 0 {
+			break
+		}
+		// Examine candidates in blocks of k down the testability ranking
+		// (paper line 6: "select k pairs of mergable nodes"); within the
+		// first block containing a feasible merger, commit the
+		// smallest-ΔC one (line 11), breaking near-ties (within 2%) by the
+		// balance score. Module mergers, whose ΔH dominates the cost, are
+		// exhausted before register packing begins — interleaving them
+		// lets early register serialization arcs lock out the large module
+		// savings the tables report.
+		var best *state
+		var bestLine string
+		committed := false
+		for _, list := range [][]candidate{modCands, regCands} {
+			for lo := 0; lo < len(list) && !committed; lo += k {
+				block := slice(list, lo, k)
+				bestDC, bestScore := 0.0, 0.0
+				for _, c := range block {
+					ns, dE, dH, err := st.applyCandidate(c, m)
+					if err != nil {
+						continue
+					}
+					dC := par.Alpha*float64(dE) + par.Beta*dH
+					take := best == nil
+					if !take {
+						tol := 0.02 * (absf(bestDC) + 1)
+						if tp == tieStrict {
+							tol = 0
+						}
+						switch {
+						case dC < bestDC-tol:
+							take = true
+						case dC <= bestDC+tol && (tp == tieHighScore || tp == tieNoDepBonus) && c.score > bestScore:
+							take = true
+						case dC <= bestDC+tol && tp == tieLowScore && c.score < bestScore:
+							take = true
+						}
+					}
+					if take {
+						best = ns
+						bestDC, bestScore = dC, c.score
+						kind := "reg"
+						if c.isModule {
+							kind = "mod"
+						}
+						bestLine = fmt.Sprintf("iter %d: merge %s %d+%d score %.4f dE %d dH %.1f dC %.1f",
+							iter, kind, c.i, c.j, c.score, dE, dH, dC)
+					}
+				}
+				if best != nil {
+					committed = true
+				}
+			}
+			if committed {
+				break
+			}
+		}
+		if !committed {
+			break // no merger exists (paper's termination condition)
+		}
+		st = best
+		trace = append(trace, bestLine)
+	}
+	return st.finish("ours", trace)
+}
+
+// slice returns list[lo:lo+n] clamped to the list bounds.
+func slice(list []candidate, lo, n int) []candidate {
+	if lo >= len(list) {
+		return nil
+	}
+	hi := lo + n
+	if hi > len(list) {
+		hi = len(list)
+	}
+	return list[lo:hi]
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (st *state) finish(method string, trace []string) (*Result, error) {
+	if err := st.build(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Method:   method,
+		Design:   st.d,
+		ExecTime: st.execT,
+		Area:     st.area,
+		Mux:      st.d.MuxStats(),
+		Metrics:  testability.Analyze(st.d, st.par.TCfg),
+		Trace:    trace,
+	}, nil
+}
+
+// applyCandidate tentatively merges candidate c on a clone of st,
+// performing the rescheduling the merger imposes, and returns the new
+// state with the incremental costs ΔE and ΔH.
+func (st *state) applyCandidate(c candidate, m *testability.Metrics) (*state, int, float64, error) {
+	if c.isModule {
+		return st.applyModuleMerge(c.i, c.j, m)
+	}
+	return st.applyRegMerge(c.i, c.j, m)
+}
+
+// applyModuleMerge implements the module merger of §4.3.1: the two
+// modules' operation sequences are merged by merge sort under SR1/SR2 into
+// one total order, realized as precedence arcs, and the design is
+// rescheduled.
+func (st *state) applyModuleMerge(i, j int, m *testability.Metrics) (*state, int, float64, error) {
+	seqI := sched.OrderByStep(st.a.Modules[i].Ops, st.s)
+	seqJ := sched.OrderByStep(st.a.Modules[j].Ops, st.s)
+	both := append(append([]dfg.NodeID{}, seqI...), seqJ...)
+
+	apply := func(order []dfg.NodeID) (*state, int, float64, error) {
+		ns := st.clone()
+		if err := ns.a.MergeModules(i, j); err != nil {
+			return nil, 0, 0, err
+		}
+		ns.prob.Extra = append(ns.prob.Extra, sched.ChainArcs(order)...)
+		for op, mod := range ns.a.ModuleOf {
+			ns.prob.ModuleOf[op] = mod
+		}
+		return st.reschedule(ns)
+	}
+
+	switch st.par.Reschedule {
+	case RescheduleAppend:
+		return apply(append(append([]dfg.NodeID{}, seqI...), seqJ...))
+	case RescheduleFrozen:
+		// Feasible only if all operations already occupy distinct steps.
+		steps := map[int]bool{}
+		for _, op := range both {
+			stp := st.s.Step[op]
+			if steps[stp] {
+				return nil, 0, 0, fmt.Errorf("core: frozen schedule conflicts at step %d", stp)
+			}
+			steps[stp] = true
+		}
+		return apply(sched.OrderByStep(both, st.s))
+	}
+	// Merge-sort with SR1/SR2 first; when its order is infeasible, fall
+	// back to the order with the smallest critical-path increase (paper
+	// §4.3.1: "if these two rules can not be applied, we will select the
+	// pair which results in the smallest increase in the length of the
+	// critical path") by trying the step-order and both append orders.
+	candidates := [][]dfg.NodeID{
+		sched.MergeOrders(seqI, seqJ, st.preferSR(m)),
+		sched.OrderByStep(both, st.s),
+		append(append([]dfg.NodeID{}, seqI...), seqJ...),
+		append(append([]dfg.NodeID{}, seqJ...), seqI...),
+	}
+	seen := map[string]bool{}
+	var bestNS *state
+	var bestE int
+	var bestH float64
+	var firstErr error
+	for _, order := range candidates {
+		key := fmt.Sprint(order)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ns, dE, dH, err := apply(order)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if bestNS == nil || dE < bestE || (dE == bestE && dH < bestH) {
+			bestNS, bestE, bestH = ns, dE, dH
+		}
+		if bestNS != nil && order != nil && key == fmt.Sprint(candidates[0]) {
+			// The SR order is feasible: prefer it outright (SR2).
+			break
+		}
+	}
+	if bestNS == nil {
+		return nil, 0, 0, firstErr
+	}
+	return bestNS, bestE, bestH, nil
+}
+
+// preferSR is the controllability/observability enhancement strategy (SR1
+// + SR2) as a merge-sort comparator: execute first the operation whose
+// operand registers are more controllable, and last the operation whose
+// result register is more observable, thereby shortening the sequential
+// depth from a controllable register to an observable register. Ties fall
+// back to the current control step (smallest critical-path increase).
+func (st *state) preferSR(m *testability.Metrics) sched.Prefer {
+	ctrlIn := func(op dfg.NodeID) float64 {
+		best := 0.0
+		for _, v := range st.g.Node(op).In {
+			if c := testability.ValueCtrl(st.d, m, v); c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	obsOut := func(op dfg.NodeID) float64 {
+		if r, ok := st.a.RegOf[st.g.Node(op).Out]; ok {
+			return m.Obs(st.d.RegNode(r))
+		}
+		return 1 // result goes straight to a port
+	}
+	return func(a, b dfg.NodeID) int {
+		sa := ctrlIn(a) + obsOut(b)
+		sb := ctrlIn(b) + obsOut(a)
+		switch {
+		case sa > sb:
+			return -1
+		case sb > sa:
+			return +1
+		}
+		// SR ties: keep the operation currently scheduled earlier first.
+		return st.s.Step[a] - st.s.Step[b]
+	}
+}
+
+// applyRegMerge implements the register merger of §4.3.2: the lifetimes of
+// the two registers' values must become disjoint. Both serialization
+// orders are evaluated; the one yielding the shorter mean sequential depth
+// from controllable to observable registers is kept (SR1), with ΔE as the
+// tie-breaker.
+func (st *state) applyRegMerge(i, j int, m *testability.Metrics) (*state, int, float64, error) {
+	tryOrder := func(first, second int) (*state, int, float64, error) {
+		ns := st.clone()
+		strict, weak, err := ns.serializeRegs(first, second)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if st.par.Reschedule == RescheduleFrozen {
+			// Arcs must already hold in the current schedule.
+			for _, a := range strict {
+				if ns.s.Step[a[0]] >= ns.s.Step[a[1]] {
+					return nil, 0, 0, fmt.Errorf("core: frozen schedule violates lifetime arc")
+				}
+			}
+			for _, a := range weak {
+				if ns.s.Step[a[0]] > ns.s.Step[a[1]] {
+					return nil, 0, 0, fmt.Errorf("core: frozen schedule violates lifetime arc")
+				}
+			}
+		}
+		ns.prob.Extra = append(ns.prob.Extra, strict...)
+		ns.prob.ExtraWeak = append(ns.prob.ExtraWeak, weak...)
+		if err := ns.a.MergeRegs(first, second); err != nil {
+			return nil, 0, 0, err
+		}
+		return st.reschedule(ns)
+	}
+	s1, e1, h1, err1 := tryOrder(i, j)
+	s2, e2, h2, err2 := tryOrder(j, i)
+	switch {
+	case err1 != nil && err2 != nil:
+		return nil, 0, 0, err1
+	case err1 != nil:
+		return s2, e2, h2, nil
+	case err2 != nil:
+		return s1, e1, h1, nil
+	}
+	if st.par.Reschedule == RescheduleMergeSort {
+		// SR1: prefer the order with the shorter mean sequential depth.
+		d1 := meanRegSeqDepth(s1, st.par)
+		d2 := meanRegSeqDepth(s2, st.par)
+		if d2 < d1 {
+			return s2, e2, h2, nil
+		}
+		if d1 < d2 {
+			return s1, e1, h1, nil
+		}
+	}
+	if e2 < e1 || (e2 == e1 && h2 < h1) {
+		return s2, e2, h2, nil
+	}
+	return s1, e1, h1, nil
+}
+
+func meanRegSeqDepth(st *state, par Params) float64 {
+	m := testability.Analyze(st.d, par.TCfg)
+	sum, n := 0.0, 0
+	for _, nd := range st.d.Nodes {
+		if nd.Kind == etpn.KindRegister {
+			sum += m.SeqDepth(nd.ID)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// serializeRegs returns precedence arcs forcing every value of register
+// `first` to expire before the corresponding value of register `second`
+// is created, pairing the values in lifetime order (the general case of
+// §4.3.2 handled like the module merge sort). When the current lifetimes
+// of a pair are already disjoint, no arc is added for it.
+func (ns *state) serializeRegs(first, second int) (strict, weak [][2]dfg.NodeID, err error) {
+	g := ns.g
+	valsA := append([]dfg.ValueID(nil), ns.a.Regs[first].Vals...)
+	valsB := append([]dfg.ValueID(nil), ns.a.Regs[second].Vals...)
+	byBirth := func(vs []dfg.ValueID) {
+		sort.Slice(vs, func(x, y int) bool { return ns.life[vs[x]].Birth < ns.life[vs[y]].Birth })
+	}
+	byBirth(valsA)
+	byBirth(valsB)
+	// Every cross pair must be serialized, not just the currently
+	// overlapping ones: the disjointness constraint imposed by the merger
+	// must survive all future rescheduling (paper §4). Pairs that are
+	// already disjoint keep their current order; contentious pairs
+	// (overlapping or tied) take the caller's direction, so both global
+	// orders are explored by applyRegMerge.
+	for _, vb := range valsB {
+		for _, va := range valsA {
+			x, y := va, vb
+			la, lb := ns.life[va], ns.life[vb]
+			if !alloc.Overlaps(la, lb) && lb.Death <= la.Birth {
+				x, y = vb, va // b already expires before a is created
+			}
+			st2, wk2, err := serializePair(g, x, y)
+			if err != nil {
+				return nil, nil, err
+			}
+			strict = append(strict, st2...)
+			weak = append(weak, wk2...)
+		}
+	}
+	return strict, weak, nil
+}
+
+// serializePair returns arcs ensuring va expires before vb is created.
+// The last read of va may share a control step with vb's production (the
+// register loads the new value on the edge that ends the step), so
+// reader-to-producer arcs are weak; producer-to-producer arcs are strict
+// (two values cannot be written in the same step). An operation reading
+// both values makes the lifetimes inseparable (paper §4.3.2, case 2).
+func serializePair(g *dfg.Graph, va, vb dfg.ValueID) (strict, weak [][2]dfg.NodeID, err error) {
+	a, b := g.Value(va), g.Value(vb)
+	usesB := map[dfg.NodeID]bool{}
+	for _, u := range b.Uses {
+		usesB[u] = true
+	}
+	for _, u := range a.Uses {
+		if usesB[u] {
+			return nil, nil, fmt.Errorf("core: operation %s uses both %s and %s", g.Node(u).Name, a.Name, b.Name)
+		}
+	}
+	if b.Def != dfg.NoNode {
+		for _, u := range a.Uses {
+			if u == b.Def {
+				// Reading va and producing vb in one operation is the
+				// natural read-then-overwrite pattern: no arc needed
+				// beyond the trivial step equality.
+				continue
+			}
+			weak = append(weak, [2]dfg.NodeID{u, b.Def})
+		}
+		if a.Def != dfg.NoNode {
+			if a.Def == b.Def {
+				return nil, nil, fmt.Errorf("core: %s and %s share a producer", a.Name, b.Name)
+			}
+			strict = append(strict, [2]dfg.NodeID{a.Def, b.Def})
+		}
+		return strict, weak, nil
+	}
+	// vb is an input value, born one step before its first use: every
+	// reader (and the producer) of va must strictly precede every reader
+	// of vb.
+	if len(b.Uses) == 0 {
+		return nil, nil, fmt.Errorf("core: cannot serialize %s before unused input %s", a.Name, b.Name)
+	}
+	for _, y := range b.Uses {
+		for _, x := range a.Uses {
+			strict = append(strict, [2]dfg.NodeID{x, y})
+		}
+		if a.Def != dfg.NoNode {
+			if a.Def == y {
+				return nil, nil, fmt.Errorf("core: producer of %s reads %s", a.Name, b.Name)
+			}
+			strict = append(strict, [2]dfg.NodeID{a.Def, y})
+		}
+	}
+	return strict, weak, nil
+}
+
+// reschedule re-solves the scheduling problem of ns and rebuilds the
+// design, returning ΔE and ΔH relative to st.
+func (st *state) reschedule(ns *state) (*state, int, float64, error) {
+	var s2 sched.Schedule
+	var err error
+	if st.par.Reschedule == RescheduleFrozen {
+		s2 = ns.s
+		if err := ns.prob.Verify(s2); err != nil {
+			return nil, 0, 0, err
+		}
+	} else {
+		s2, err = ns.prob.List(nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	ns.s = s2
+	if err := ns.build(); err != nil {
+		return nil, 0, 0, err
+	}
+	return ns, ns.execT - st.execT, ns.area.Total - st.area.Total, nil
+}

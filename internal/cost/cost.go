@@ -1,0 +1,225 @@
+// Package cost estimates the hardware cost H of an ETPN data path (paper
+// §4.2): H = Σ Area(V_i) + Σ Len(A_j) × Wid(A_j), where module and register
+// areas come from a module library parameterized by bit width, connection
+// lengths come from a simple connectivity-driven floorplan in the manner of
+// Peng & Kuchcinski [14], and connection widths are the bit width times a
+// weight factor. Multiplexers implied by the allocation are charged to
+// their destination nodes.
+//
+// Areas are in normalized units; the library preserves the relative cost
+// structure of the paper's experiments (multiplier ≫ ALU ≈ adder >
+// register > mux, multiplier quadratic in width).
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/etpn"
+)
+
+// Library supplies per-component area models.
+type Library struct {
+	// RegPerBit is the register area per bit.
+	RegPerBit float64
+	// AddPerBit is the adder/subtracter/ALU area per bit.
+	AddPerBit float64
+	// CmpPerBit is the comparator area per bit.
+	CmpPerBit float64
+	// LogicPerBit is the bitwise-logic unit area per bit.
+	LogicPerBit float64
+	// MulPerBit2 is the array-multiplier area per bit squared.
+	MulPerBit2 float64
+	// MuxPerBitInput is the multiplexer area per bit per extra input.
+	MuxPerBitInput float64
+	// WireWeight scales connection width (paper: bit width times a given
+	// weighted factor).
+	WireWeight float64
+}
+
+// DefaultLibrary returns the library used across the reproduction.
+func DefaultLibrary() *Library {
+	return &Library{
+		RegPerBit:      8,
+		AddPerBit:      24,
+		CmpPerBit:      12,
+		LogicPerBit:    8,
+		MulPerBit2:     20,
+		MuxPerBitInput: 4,
+		WireWeight:     0.05,
+	}
+}
+
+// ModuleArea returns the area of a functional module of the given class at
+// the given bit width.
+func (l *Library) ModuleArea(class string, width int) float64 {
+	w := float64(width)
+	switch class {
+	case "*":
+		return l.MulPerBit2 * w * w
+	case "+", "-", "±":
+		return l.AddPerBit * w
+	case "<", ">", "==":
+		return l.CmpPerBit * w
+	case "&", "|", "^", "~", "mov", "logic":
+		return l.LogicPerBit * w
+	default:
+		return l.AddPerBit * w
+	}
+}
+
+// RegisterArea returns the area of a width-bit register.
+func (l *Library) RegisterArea(width int) float64 { return l.RegPerBit * float64(width) }
+
+// MuxArea returns the area of an inputs-to-1 multiplexer at the given
+// width; 0 or 1 inputs need no hardware.
+func (l *Library) MuxArea(width, inputs int) float64 {
+	if inputs <= 1 {
+		return 0
+	}
+	return l.MuxPerBitInput * float64(width) * float64(inputs-1)
+}
+
+// Estimate is the cost breakdown of a design.
+type Estimate struct {
+	ModuleArea float64
+	RegArea    float64
+	MuxArea    float64
+	WireArea   float64
+	Total      float64
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("total %.0f (modules %.0f, regs %.0f, muxes %.0f, wires %.0f)",
+		e.Total, e.ModuleArea, e.RegArea, e.MuxArea, e.WireArea)
+}
+
+// Floorplan places the data-path nodes of d on an integer grid with a
+// connectivity-driven greedy heuristic: nodes in decreasing connectivity
+// order, each placed on the free grid slot minimizing the total Manhattan
+// distance to its already-placed neighbours. Positions are deterministic.
+func Floorplan(d *etpn.Design) map[int][2]int {
+	n := len(d.Nodes)
+	adj := make(map[int]map[int]int, n)
+	bump := func(a, b int) {
+		if adj[a] == nil {
+			adj[a] = map[int]int{}
+		}
+		adj[a][b]++
+	}
+	for _, a := range d.Arcs {
+		if a.From == a.To {
+			continue
+		}
+		bump(a.From, a.To)
+		bump(a.To, a.From)
+	}
+	order := make([]int, 0, n)
+	for _, nd := range d.Nodes {
+		order = append(order, nd.ID)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(adj[order[i]]), len(adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	pos := make(map[int][2]int, n)
+	used := map[[2]int]bool{}
+	side := int(math.Ceil(math.Sqrt(float64(n)))) + 2
+	for _, id := range order {
+		best := [2]int{0, 0}
+		bestCost := math.Inf(1)
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				p := [2]int{x, y}
+				if used[p] {
+					continue
+				}
+				c := 0.0
+				for nb, w := range adj[id] {
+					if q, placed := pos[nb]; placed {
+						c += float64(w) * float64(abs(p[0]-q[0])+abs(p[1]-q[1]))
+					}
+				}
+				// Deterministic tie-break: prefer slots near the origin.
+				c += 1e-6 * float64(p[0]+p[1]*side)
+				if c < bestCost {
+					bestCost = c
+					best = p
+				}
+			}
+		}
+		pos[id] = best
+		used[best] = true
+	}
+	return pos
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// EstimateDesign computes the full cost estimate of a design at the given
+// bit width: component areas from the library, multiplexers inferred from
+// the arc structure, and wire cost from the floorplan. The cell pitch used
+// to convert grid distance to length is the square root of the mean
+// component area, so wire cost scales with component size as in a real
+// layout.
+func EstimateDesign(d *etpn.Design, lib *Library, width int) Estimate {
+	if lib == nil {
+		lib = DefaultLibrary()
+	}
+	var e Estimate
+	for _, nd := range d.Nodes {
+		switch nd.Kind {
+		case etpn.KindModule:
+			e.ModuleArea += lib.ModuleArea(nd.Class, width)
+		case etpn.KindRegister:
+			e.RegArea += lib.RegisterArea(width)
+		}
+	}
+	// Multiplexers: one per destination (node, port) with multiple sources.
+	type dest struct{ node, port int }
+	srcs := map[dest]map[int]bool{}
+	for _, a := range d.Arcs {
+		to := d.Nodes[a.To]
+		if to.Kind != etpn.KindModule && to.Kind != etpn.KindRegister {
+			continue
+		}
+		k := dest{a.To, a.ToPort}
+		if srcs[k] == nil {
+			srcs[k] = map[int]bool{}
+		}
+		srcs[k][a.From] = true
+	}
+	for _, set := range srcs {
+		e.MuxArea += lib.MuxArea(width, len(set))
+	}
+	// Wires.
+	nComp := 0
+	compArea := e.ModuleArea + e.RegArea + e.MuxArea
+	for _, nd := range d.Nodes {
+		if nd.Kind == etpn.KindModule || nd.Kind == etpn.KindRegister {
+			nComp++
+		}
+	}
+	pitch := 1.0
+	if nComp > 0 {
+		pitch = math.Sqrt(compArea / float64(nComp))
+	}
+	pos := Floorplan(d)
+	for _, a := range d.Arcs {
+		p, q := pos[a.From], pos[a.To]
+		dist := float64(abs(p[0]-q[0]) + abs(p[1]-q[1]))
+		e.WireArea += dist * pitch * float64(width) * lib.WireWeight
+	}
+	e.Total = e.ModuleArea + e.RegArea + e.MuxArea + e.WireArea
+	return e
+}

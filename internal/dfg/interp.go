@@ -1,0 +1,110 @@
+package dfg
+
+import "fmt"
+
+// Eval evaluates a single operation on width-bit unsigned operands and
+// returns the width-bit result. Comparison operators return 0 or 1.
+// Arithmetic wraps modulo 2^width, matching the hardware the synthesizer
+// emits.
+func Eval(kind OpKind, width int, operands ...uint64) uint64 {
+	mask := Mask(width)
+	var r uint64
+	switch kind {
+	case OpAdd:
+		r = operands[0] + operands[1]
+	case OpSub:
+		r = operands[0] - operands[1]
+	case OpMul:
+		r = operands[0] * operands[1]
+	case OpLt:
+		if operands[0]&mask < operands[1]&mask {
+			r = 1
+		}
+	case OpGt:
+		if operands[0]&mask > operands[1]&mask {
+			r = 1
+		}
+	case OpEq:
+		if operands[0]&mask == operands[1]&mask {
+			r = 1
+		}
+	case OpAnd:
+		r = operands[0] & operands[1]
+	case OpOr:
+		r = operands[0] | operands[1]
+	case OpXor:
+		r = operands[0] ^ operands[1]
+	case OpNot:
+		r = ^operands[0]
+	case OpShl:
+		r = operands[0] << (operands[1] & 63)
+	case OpShr:
+		r = (operands[0] & mask) >> (operands[1] & 63)
+	case OpMov:
+		r = operands[0]
+	default:
+		panic(fmt.Sprintf("dfg: Eval of unsupported op %v", kind))
+	}
+	return r & mask
+}
+
+// Mask returns a bit mask with the low width bits set.
+func Mask(width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// Interpret executes the graph once at the given bit width. inputs maps
+// primary-input names to values; constants come from the graph. It returns
+// the value of every primary output by name. Interpret is the reference
+// semantics that synthesized RTL and gate-level implementations are checked
+// against.
+func (g *Graph) Interpret(width int, inputs map[string]uint64) (map[string]uint64, error) {
+	vals := make([]uint64, len(g.values))
+	have := make([]bool, len(g.values))
+	for _, v := range g.values {
+		switch v.Kind {
+		case ValInput:
+			x, ok := inputs[v.Name]
+			if !ok {
+				return nil, fmt.Errorf("dfg: missing input %q", v.Name)
+			}
+			vals[v.ID] = x & Mask(width)
+			have[v.ID] = true
+		case ValConst:
+			vals[v.ID] = uint64(v.Const) & Mask(width)
+			have[v.ID] = true
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, nid := range order {
+		n := g.nodes[nid]
+		ops := make([]uint64, len(n.In))
+		for i, v := range n.In {
+			if !have[v] {
+				return nil, fmt.Errorf("dfg: node %s reads undefined value %s", n.Name, g.values[v].Name)
+			}
+			ops[i] = vals[v]
+		}
+		vals[n.Out] = Eval(n.Kind, width, ops...)
+		have[n.Out] = true
+	}
+	out := make(map[string]uint64)
+	for _, v := range g.values {
+		if v.IsOutput {
+			if !have[v.ID] {
+				return nil, fmt.Errorf("dfg: output %q never defined", v.Name)
+			}
+			out[v.Name] = vals[v.ID]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package etpn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the data path in Graphviz dot format: registers as boxes,
+// modules as ellipses labelled with their operation classes, ports as
+// triangles, constants as plain text, and arcs annotated with their active
+// control steps.
+func (d *Design) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", "etpn_"+d.G.Name)
+	for _, n := range d.Nodes {
+		switch n.Kind {
+		case KindInPort:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=invtriangle color=blue];\n", n.ID, n.Name)
+		case KindOutPort:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=triangle color=blue];\n", n.ID, n.Name)
+		case KindConst:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=plaintext];\n", n.ID, n.Name)
+		case KindRegister:
+			names := make([]string, len(n.Vals))
+			for i, v := range n.Vals {
+				names[i] = d.G.Value(v).Name
+			}
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\n{%s}\" shape=box];\n", n.ID, n.Name, strings.Join(names, ","))
+		case KindModule:
+			labels := make([]string, len(n.Ops))
+			for i, op := range n.Ops {
+				labels[i] = d.G.Node(op).Name
+			}
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\n{%s}\" shape=ellipse];\n", n.ID, n.Name, strings.Join(labels, ","))
+		}
+	}
+	for _, a := range d.Arcs {
+		steps := make([]string, len(a.Steps))
+		for i, s := range a.Steps {
+			steps[i] = fmt.Sprint(s)
+		}
+		port := ""
+		if a.ToPort >= 0 {
+			port = fmt.Sprintf(" p%d", a.ToPort)
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"s%s%s\"];\n", a.From, a.To, strings.Join(steps, ","), port)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,161 @@
+// Package fault implements the single stuck-at fault model over gate-level
+// netlists (paper §2: "the stuck-at fault model is the mostly used fault
+// model"): fault enumeration on gate outputs and inputs, structural
+// equivalence collapsing, and deterministic sampling for coverage
+// estimation on large fault lists.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/gates"
+)
+
+// Fault is a single stuck-at fault: the named pin of a gate is stuck at
+// Val. Pin -1 is the gate's output; 0..n-1 are its input pins.
+type Fault struct {
+	Gate int
+	Pin  int
+	Val  bool
+}
+
+// String renders the fault in conventional notation.
+func (f Fault) String() string {
+	v := 0
+	if f.Val {
+		v = 1
+	}
+	if f.Pin < 0 {
+		return fmt.Sprintf("g%d/out s-a-%d", f.Gate, v)
+	}
+	return fmt.Sprintf("g%d/in%d s-a-%d", f.Gate, f.Pin, v)
+}
+
+// Enumerate lists every stuck-at fault on the circuit: both polarities on
+// every gate output and every gate input pin. Constant gates get no
+// faults on their (non-existent) inputs; their outputs are still faulted.
+func Enumerate(c *gates.Circuit) []Fault {
+	var fs []Fault
+	for _, g := range c.Gates {
+		fs = append(fs, Fault{g.ID, -1, false}, Fault{g.ID, -1, true})
+		for pin := range g.In {
+			fs = append(fs, Fault{g.ID, pin, false}, Fault{g.ID, pin, true})
+		}
+	}
+	return fs
+}
+
+// Collapse performs structural equivalence collapsing, keeping one
+// representative per equivalence class:
+//
+//   - an input s-a-v of a BUF/DFF is equivalent to its output s-a-v, and
+//     of a NOT to its output s-a-(^v);
+//   - an input s-a-0 of an AND (s-a-1 of an OR) is equivalent to the output
+//     s-a-0 (s-a-1), and dually for NAND/NOR with the output polarity
+//     flipped;
+//   - a fanout-free gate output fault is equivalent to the corresponding
+//     input fault of its unique reader, so only the reader's is kept.
+//
+// Faults on gates outside the observable cone (no structural path to any
+// primary output, through flip-flops or not) are undetectable by
+// definition and are pruned. The non-controlling-value input faults and
+// all output faults survive.
+func Collapse(c *gates.Circuit) []Fault {
+	readers := make([]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, in := range g.In {
+			readers[in]++
+		}
+	}
+	observed := make([]bool, len(c.Gates))
+	for _, o := range c.Outputs {
+		observed[o] = true
+	}
+	observable := observableCone(c)
+	var fs []Fault
+	for _, g := range c.Gates {
+		if !observable[g.ID] {
+			continue
+		}
+		// Output faults: keep unless the gate is fanout-free into a single
+		// reader gate, whose input fault class then covers it. A gate that
+		// is directly observed has no reader to represent it and keeps its
+		// output faults.
+		keepOut := true
+		if !observed[g.ID] {
+			if readers[g.ID] == 1 {
+				keepOut = false
+			}
+			if readers[g.ID] == 0 {
+				keepOut = false // dangling: undetectable and uninteresting
+			}
+		}
+		if keepOut {
+			fs = append(fs, Fault{g.ID, -1, false}, Fault{g.ID, -1, true})
+		}
+		for pin := range g.In {
+			for _, v := range []bool{false, true} {
+				if equivalentToOutput(g.Kind, v) {
+					continue // represented by the gate's output fault
+				}
+				fs = append(fs, Fault{g.ID, pin, v})
+			}
+		}
+	}
+	return fs
+}
+
+// observableCone marks every gate with a structural path to a primary
+// output (crossing flip-flops freely).
+func observableCone(c *gates.Circuit) []bool {
+	mark := make([]bool, len(c.Gates))
+	var stack []int
+	for _, o := range c.Outputs {
+		if !mark[o] {
+			mark[o] = true
+			stack = append(stack, o)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range c.Gates[id].In {
+			if !mark[in] {
+				mark[in] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	return mark
+}
+
+// equivalentToOutput reports whether an input stuck-at-v fault of the kind
+// is structurally equivalent to an output fault of the same gate.
+func equivalentToOutput(k gates.Kind, v bool) bool {
+	switch k {
+	case gates.KBuf, gates.KNot, gates.KDFF:
+		return true // single-input: always equivalent (polarity adjusted)
+	case gates.KAnd, gates.KNand:
+		return !v // controlling value 0
+	case gates.KOr, gates.KNor:
+		return v // controlling value 1
+	default:
+		return false
+	}
+}
+
+// Sample returns a deterministic sample of at most n faults, evenly spaced
+// through the list (the list order is structural, so even spacing covers
+// the whole circuit). If n <= 0 or n >= len(fs), the full list is
+// returned.
+func Sample(fs []Fault, n int) []Fault {
+	if n <= 0 || n >= len(fs) {
+		return fs
+	}
+	out := make([]Fault, 0, n)
+	stride := float64(len(fs)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, fs[int(float64(i)*stride)])
+	}
+	return out
+}

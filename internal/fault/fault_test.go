@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func simpleCircuit(t *testing.T) *gates.Circuit {
+	t.Helper()
+	b := gates.NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	n := b.Not(x)
+	a := b.And(n, y)
+	b.Output("z", a)
+	c, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnumerateCountsAllPins(t *testing.T) {
+	c := simpleCircuit(t)
+	fs := Enumerate(c)
+	// Gates: x, y, NOT(1 in), AND(2 in) = 4 outputs*2 + (1+2) inputs*2 = 14.
+	if len(fs) != 14 {
+		t.Fatalf("enumerated %d faults, want 14", len(fs))
+	}
+	seen := map[string]bool{}
+	for _, f := range fs {
+		if seen[f.String()] {
+			t.Errorf("duplicate fault %v", f)
+		}
+		seen[f.String()] = true
+	}
+}
+
+func TestCollapseEquivalences(t *testing.T) {
+	c := simpleCircuit(t)
+	collapsed := Collapse(c)
+	full := Enumerate(c)
+	if len(collapsed) >= len(full) {
+		t.Fatalf("collapse did not reduce: %d vs %d", len(collapsed), len(full))
+	}
+	// NOT's input faults are equivalent to its output faults and must be
+	// gone; AND's input s-a-0 likewise.
+	for _, f := range collapsed {
+		g := c.Gates[f.Gate]
+		if g.Kind == gates.KNot && f.Pin >= 0 {
+			t.Errorf("NOT input fault %v survived collapsing", f)
+		}
+		if g.Kind == gates.KAnd && f.Pin >= 0 && !f.Val {
+			t.Errorf("AND input s-a-0 %v survived collapsing", f)
+		}
+	}
+	// AND input s-a-1 faults are NOT equivalent and must survive.
+	found := false
+	for _, f := range collapsed {
+		if c.Gates[f.Gate].Kind == gates.KAnd && f.Pin >= 0 && f.Val {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("AND input s-a-1 faults missing after collapsing")
+	}
+}
+
+func TestCollapsePrunesUnobservable(t *testing.T) {
+	b := gates.NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	_ = b.And(x, y) // dangling
+	b.Output("z", b.Or(x, y))
+	c, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Collapse(c) {
+		if c.Gates[f.Gate].Kind == gates.KAnd {
+			t.Errorf("fault %v on unobservable gate survived", f)
+		}
+	}
+}
+
+func TestCollapseCrossesDFFs(t *testing.T) {
+	// A fault behind a DFF is observable through it and must be kept.
+	b := gates.NewBuilder()
+	x := b.Input("x")
+	n := b.Not(x)
+	q := b.DFF("q")
+	b.SetD(q, n)
+	b.Output("z", q)
+	c, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NOT is fanout-free into the DFF and its faults collapse through
+	// the single-input chain NOT-out ≡ DFF-in ≡ DFF-out: the class must be
+	// represented by the DFF output faults.
+	reps := 0
+	for _, f := range Collapse(c) {
+		if c.Gates[f.Gate].Kind == gates.KDFF && f.Pin < 0 {
+			reps++
+		}
+	}
+	if reps != 2 {
+		t.Errorf("DFF output faults represent the chain class: got %d, want 2", reps)
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	var fs []Fault
+	for i := 0; i < 7; i++ {
+		fs = append(fs, Fault{Gate: i})
+	}
+	if got := Sample(fs, 3); len(got) != 3 || got[0].Gate != 0 {
+		t.Errorf("Sample(7,3) = %v", got)
+	}
+	if got := Sample(fs, 7); len(got) != 7 {
+		t.Errorf("Sample(n,n) should be identity")
+	}
+	if got := Sample(nil, 5); len(got) != 0 {
+		t.Errorf("Sample(nil) = %v", got)
+	}
+}
+
+func TestEquivalentToOutputTable(t *testing.T) {
+	cases := []struct {
+		k    gates.Kind
+		v    bool
+		want bool
+	}{
+		{gates.KBuf, false, true},
+		{gates.KBuf, true, true},
+		{gates.KNot, false, true},
+		{gates.KDFF, true, true},
+		{gates.KAnd, false, true},
+		{gates.KAnd, true, false},
+		{gates.KNand, false, true},
+		{gates.KNand, true, false},
+		{gates.KOr, true, true},
+		{gates.KOr, false, false},
+		{gates.KNor, true, true},
+		{gates.KXor, false, false},
+		{gates.KXor, true, false},
+	}
+	for _, c := range cases {
+		if got := equivalentToOutput(c.k, c.v); got != c.want {
+			t.Errorf("equivalentToOutput(%v, %v) = %v, want %v", c.k, c.v, got, c.want)
+		}
+	}
+}

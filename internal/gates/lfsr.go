@@ -1,0 +1,74 @@
+package gates
+
+// Built-in self-test primitives: linear-feedback shift registers for
+// pattern generation and multiple-input signature registers for response
+// compaction (the BIST methodology of Papachristou et al., the paper's
+// reference [10]).
+
+// lfsrTaps lists maximal-length Fibonacci LFSR tap positions (1-based bit
+// indices whose XOR feeds the shift input) for the widths the data path
+// generator uses. Sources: standard primitive-polynomial tables.
+var lfsrTaps = map[int][]int{
+	2:  {2, 1},
+	3:  {3, 2},
+	4:  {4, 3},
+	5:  {5, 3},
+	6:  {6, 5},
+	7:  {7, 6},
+	8:  {8, 6, 5, 4},
+	9:  {9, 5},
+	10: {10, 7},
+	12: {12, 11, 10, 4},
+	16: {16, 15, 13, 4},
+	24: {24, 23, 22, 17},
+	32: {32, 30, 26, 25},
+}
+
+// LFSRTaps returns the maximal-length tap set for the width, falling back
+// to the next-larger tabulated width truncated to w (still a usable,
+// though not necessarily maximal, sequence) for untabulated widths.
+func LFSRTaps(w int) []int {
+	if taps, ok := lfsrTaps[w]; ok {
+		return taps
+	}
+	// Fallback: w, w-1 (not guaranteed maximal; adequate for test
+	// stimulus diversity).
+	return []int{w, w - 1}
+}
+
+// LFSRNext builds the next-state logic of a Fibonacci LFSR over the
+// current state q (LSB first): state shifts toward the MSB and the XOR of
+// the tap bits enters at bit 0. The all-zero state is escaped by a NOR
+// gate (taps-XNOR variant), so the register self-starts from reset.
+func (b *Builder) LFSRNext(q Word) Word {
+	w := len(q)
+	taps := LFSRTaps(w)
+	fb := -1
+	for _, t := range taps {
+		bit := q[t-1]
+		if fb < 0 {
+			fb = bit
+		} else {
+			fb = b.Xor(fb, bit)
+		}
+	}
+	// Zero-escape: XOR the feedback with NOR of all other bits, turning
+	// the all-zero lockup state into a sequence member.
+	if w > 1 {
+		fb = b.Xor(fb, b.Nor(q[:w-1]...))
+	}
+	next := make(Word, w)
+	next[0] = fb
+	for i := 1; i < w; i++ {
+		next[i] = q[i-1]
+	}
+	return next
+}
+
+// MISRNext builds the next-state logic of a multiple-input signature
+// register: an LFSR whose every stage additionally absorbs one response
+// bit. The final register contents are the test signature.
+func (b *Builder) MISRNext(q, in Word) Word {
+	shifted := b.LFSRNext(q)
+	return b.XorW(shifted, in)
+}

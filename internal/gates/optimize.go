@@ -1,0 +1,253 @@
+package gates
+
+import "fmt"
+
+// Optimize performs the netlist cleanup a logic-synthesis back end would:
+// constant folding (an AND with a tied-0 input is a tie-0, an XOR with a
+// tied-0 input is a buffer, ...), buffer elision, and dead-logic removal.
+// The cleanup matters for test generation: faults on tied logic are
+// untestable by construction and would depress fault-coverage figures that
+// real tools never see.
+//
+// Primary inputs are always preserved, in order, so the circuit interface
+// is unchanged. The returned map gives the new net id of every old gate,
+// or -1 if the gate was removed as dead.
+func Optimize(c *Circuit) (*Circuit, []int, error) {
+	order, err := c.Levelize()
+	if err != nil {
+		return nil, nil, err
+	}
+	b := NewBuilder()
+	remap := make([]int, len(c.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	// Shared constants, created lazily.
+	constID := [2]int{-1, -1}
+	getConst := func(v bool) int {
+		k := 0
+		if v {
+			k = 1
+		}
+		if constID[k] < 0 {
+			constID[k] = b.Const(v)
+		}
+		return constID[k]
+	}
+	isConst := func(id int) (bool, bool) {
+		switch b.c.Gates[id].Kind {
+		case KConst0:
+			return false, true
+		case KConst1:
+			return true, true
+		}
+		return false, false
+	}
+	// PIs first (interface order), then DFFs (feedback forward refs).
+	for _, id := range c.Inputs {
+		remap[id] = b.Input(c.Gates[id].Name)
+	}
+	for _, id := range c.DFFs {
+		remap[id] = b.DFF(c.Gates[id].Name)
+	}
+	newNot := func(x int) int {
+		if v, ok := isConst(x); ok {
+			return getConst(!v)
+		}
+		return b.Not(x)
+	}
+	for _, id := range order {
+		if remap[id] >= 0 {
+			continue // PI or DFF
+		}
+		g := c.Gates[id]
+		ins := make([]int, len(g.In))
+		for i, in := range g.In {
+			if remap[in] < 0 {
+				return nil, nil, fmt.Errorf("gates: optimize saw use before def at gate %d", id)
+			}
+			ins[i] = remap[in]
+		}
+		switch g.Kind {
+		case KConst0:
+			remap[id] = getConst(false)
+		case KConst1:
+			remap[id] = getConst(true)
+		case KBuf:
+			remap[id] = ins[0]
+		case KNot:
+			remap[id] = newNot(ins[0])
+		case KAnd, KNand, KOr, KNor:
+			// AND semantics with controlling value cv and identity iv;
+			// OR-family is the dual.
+			cv := false // controlling value for AND
+			if g.Kind == KOr || g.Kind == KNor {
+				cv = true
+			}
+			invert := g.Kind == KNand || g.Kind == KNor
+			var live []int
+			fold := false
+			for _, in := range ins {
+				if v, ok := isConst(in); ok {
+					if v == cv {
+						fold = true
+						break
+					}
+					continue // identity input: drop
+				}
+				live = append(live, in)
+			}
+			switch {
+			case fold:
+				// A controlling input pins the output to cv (inverted for
+				// the complemented forms).
+				remap[id] = getConst(cv != invert)
+			case len(live) == 0:
+				remap[id] = getConst(!cv != invert)
+			case len(live) == 1:
+				if invert {
+					remap[id] = newNot(live[0])
+				} else {
+					remap[id] = live[0]
+				}
+			default:
+				switch g.Kind {
+				case KAnd:
+					remap[id] = b.And(live...)
+				case KNand:
+					remap[id] = b.Nand(live...)
+				case KOr:
+					remap[id] = b.Or(live...)
+				case KNor:
+					remap[id] = b.Nor(live...)
+				}
+			}
+		case KXor, KXnor:
+			a, bb := ins[0], ins[1]
+			va, oka := isConst(a)
+			vb, okb := isConst(bb)
+			inv := g.Kind == KXnor
+			switch {
+			case oka && okb:
+				remap[id] = getConst((va != vb) != inv)
+			case oka:
+				if va != inv {
+					remap[id] = newNot(bb)
+				} else {
+					remap[id] = bb
+				}
+			case okb:
+				if vb != inv {
+					remap[id] = newNot(a)
+				} else {
+					remap[id] = a
+				}
+			default:
+				if g.Kind == KXor {
+					remap[id] = b.Xor(a, bb)
+				} else {
+					remap[id] = b.Xnor(a, bb)
+				}
+			}
+		case KDFF, KInput:
+			// handled above
+		}
+	}
+	// Wire DFF D inputs.
+	for _, id := range c.DFFs {
+		d := c.Gates[id].In
+		if len(d) != 1 {
+			return nil, nil, fmt.Errorf("gates: DFF %d unwired", id)
+		}
+		if remap[d[0]] < 0 {
+			return nil, nil, fmt.Errorf("gates: DFF %d D-net dropped", id)
+		}
+		b.SetD(remap[id], remap[d[0]])
+	}
+	// Outputs.
+	for i, o := range c.Outputs {
+		b.Output(c.OutputNames[i], remap[o])
+	}
+	pruned, prunedMap, err := sweepDead(b.c)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compose the two maps.
+	final := make([]int, len(c.Gates))
+	for i := range final {
+		if remap[i] < 0 {
+			final[i] = -1
+		} else {
+			final[i] = prunedMap[remap[i]]
+		}
+	}
+	if err := pruned.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := pruned.Levelize(); err != nil {
+		return nil, nil, err
+	}
+	return pruned, final, nil
+}
+
+// sweepDead removes gates with no path to a primary output, keeping all
+// primary inputs (the interface) and any flip-flop still referenced.
+func sweepDead(c *Circuit) (*Circuit, []int, error) {
+	live := make([]bool, len(c.Gates))
+	var stack []int
+	push := func(id int) {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range c.Outputs {
+		push(o)
+	}
+	for _, id := range c.Inputs {
+		push(id)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range c.Gates[id].In {
+			push(in)
+		}
+	}
+	remap := make([]int, len(c.Gates))
+	out := &Circuit{}
+	for i, g := range c.Gates {
+		if !live[i] {
+			remap[i] = -1
+			continue
+		}
+		ng := &Gate{ID: len(out.Gates), Kind: g.Kind, Name: g.Name}
+		remap[i] = ng.ID
+		out.Gates = append(out.Gates, ng)
+	}
+	for i, g := range c.Gates {
+		if !live[i] {
+			continue
+		}
+		ng := out.Gates[remap[i]]
+		for _, in := range g.In {
+			if remap[in] < 0 {
+				return nil, nil, fmt.Errorf("gates: live gate %d reads dead net %d", i, in)
+			}
+			ng.In = append(ng.In, remap[in])
+		}
+	}
+	for _, id := range c.Inputs {
+		out.Inputs = append(out.Inputs, remap[id])
+	}
+	for _, id := range c.DFFs {
+		if remap[id] >= 0 {
+			out.DFFs = append(out.DFFs, remap[id])
+		}
+	}
+	for i, o := range c.Outputs {
+		out.Outputs = append(out.Outputs, remap[o])
+		out.OutputNames = append(out.OutputNames, c.OutputNames[i])
+	}
+	return out, remap, nil
+}

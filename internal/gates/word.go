@@ -1,0 +1,250 @@
+package gates
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+)
+
+// Word is a bit vector of nets, least-significant bit first.
+type Word []int
+
+// InputWord declares a w-bit primary-input bus named name[0..w-1].
+func (b *Builder) InputWord(name string, w int) Word {
+	word := make(Word, w)
+	for i := range word {
+		word[i] = b.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return word
+}
+
+// ConstWord returns a w-bit constant.
+func (b *Builder) ConstWord(v uint64, w int) Word {
+	word := make(Word, w)
+	for i := range word {
+		word[i] = b.Const(v&(1<<uint(i)) != 0)
+	}
+	return word
+}
+
+// DFFWord declares a w-bit register; wire with SetDWord.
+func (b *Builder) DFFWord(name string, w int) Word {
+	word := make(Word, w)
+	for i := range word {
+		word[i] = b.DFF(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return word
+}
+
+// SetDWord wires a register's D inputs.
+func (b *Builder) SetDWord(ff, d Word) {
+	if len(ff) != len(d) {
+		panic("gates: SetDWord width mismatch")
+	}
+	for i := range ff {
+		b.SetD(ff[i], d[i])
+	}
+}
+
+// OutputWord marks a bus as primary outputs name[i].
+func (b *Builder) OutputWord(name string, w Word) {
+	for i, g := range w {
+		b.Output(fmt.Sprintf("%s[%d]", name, i), g)
+	}
+}
+
+// NotW complements every bit.
+func (b *Builder) NotW(x Word) Word {
+	out := make(Word, len(x))
+	for i := range x {
+		out[i] = b.Not(x[i])
+	}
+	return out
+}
+
+func (b *Builder) bitwise(f func(int, int) int, x, y Word) Word {
+	if len(x) != len(y) {
+		panic("gates: width mismatch")
+	}
+	out := make(Word, len(x))
+	for i := range x {
+		out[i] = f(x[i], y[i])
+	}
+	return out
+}
+
+// AndW is the bitwise conjunction.
+func (b *Builder) AndW(x, y Word) Word {
+	return b.bitwise(func(p, q int) int { return b.And(p, q) }, x, y)
+}
+
+// OrW is the bitwise disjunction.
+func (b *Builder) OrW(x, y Word) Word {
+	return b.bitwise(func(p, q int) int { return b.Or(p, q) }, x, y)
+}
+
+// XorW is the bitwise exclusive or.
+func (b *Builder) XorW(x, y Word) Word {
+	return b.bitwise(func(p, q int) int { return b.Xor(p, q) }, x, y)
+}
+
+// Mux2W returns sel ? a : b on buses.
+func (b *Builder) Mux2W(sel int, x, y Word) Word {
+	return b.bitwise(func(p, q int) int { return b.Mux2(sel, p, q) }, x, y)
+}
+
+// MuxOneHot selects among choices with one-hot select nets: the output is
+// OR over i of (sel[i] AND choice[i]). Exactly one select must be active
+// in normal operation; the structure matches the one-hot transfer enables
+// of the ETPN control part.
+func (b *Builder) MuxOneHot(sels []int, choices []Word) Word {
+	if len(sels) != len(choices) || len(choices) == 0 {
+		panic("gates: MuxOneHot arity mismatch")
+	}
+	if len(choices) == 1 {
+		return choices[0]
+	}
+	w := len(choices[0])
+	out := make(Word, w)
+	for bit := 0; bit < w; bit++ {
+		terms := make([]int, len(choices))
+		for i := range choices {
+			terms[i] = b.And(sels[i], choices[i][bit])
+		}
+		out[bit] = b.Or(terms...)
+	}
+	return out
+}
+
+// fullAdder returns (sum, carry).
+func (b *Builder) fullAdder(x, y, cin int) (int, int) {
+	s1 := b.Xor(x, y)
+	sum := b.Xor(s1, cin)
+	carry := b.Or(b.And(x, y), b.And(s1, cin))
+	return sum, carry
+}
+
+// Adder returns x + y + cin as a ripple-carry adder, with the carry out.
+func (b *Builder) Adder(x, y Word, cin int) (Word, int) {
+	if len(x) != len(y) {
+		panic("gates: width mismatch")
+	}
+	out := make(Word, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out, c
+}
+
+// Subtractor returns x - y (two's complement: x + ^y + 1) and the borrow
+// complement (carry out; 1 means x >= y for unsigned operands).
+func (b *Builder) Subtractor(x, y Word) (Word, int) {
+	return b.Adder(x, b.NotW(y), b.Const(true))
+}
+
+// Multiplier returns the low len(x) bits of x*y as an array multiplier:
+// len(y) partial products summed by ripple-carry rows. This is the
+// quadratic-area structure the cost library models.
+func (b *Builder) Multiplier(x, y Word) Word {
+	w := len(x)
+	if len(y) != w {
+		panic("gates: width mismatch")
+	}
+	zero := b.Const(false)
+	acc := make(Word, w)
+	for i := range acc {
+		acc[i] = b.And(x[i], y[0])
+	}
+	for row := 1; row < w; row++ {
+		// Partial product of x shifted left by row, masked by y[row],
+		// added into acc; only bits < w are kept.
+		pp := make(Word, w)
+		for i := 0; i < w; i++ {
+			if i < row {
+				pp[i] = zero
+			} else {
+				pp[i] = b.And(x[i-row], y[row])
+			}
+		}
+		acc, _ = b.Adder(acc, pp, zero)
+	}
+	return acc
+}
+
+// LessThan returns the single net x < y (unsigned).
+func (b *Builder) LessThan(x, y Word) int {
+	// x < y iff borrow out of x - y, i.e. NOT carry.
+	_, carry := b.Subtractor(x, y)
+	return b.Not(carry)
+}
+
+// Equal returns the single net x == y.
+func (b *Builder) Equal(x, y Word) int {
+	terms := make([]int, len(x))
+	for i := range x {
+		terms[i] = b.Xnor(x[i], y[i])
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return b.And(terms...)
+}
+
+// ZeroExtend returns a Word of width w whose low bits are x.
+func (b *Builder) ZeroExtend(x Word, w int) Word {
+	if len(x) >= w {
+		return x[:w]
+	}
+	out := make(Word, w)
+	copy(out, x)
+	zero := b.Const(false)
+	for i := len(x); i < w; i++ {
+		out[i] = zero
+	}
+	return out
+}
+
+// Op instantiates the data-path operation kind on two operand buses,
+// returning the result bus. Comparison results are zero-extended to the
+// operand width, matching dfg.Eval. Shift operations require a constant
+// shift amount and are provided by OpConstShift.
+func (b *Builder) Op(kind dfg.OpKind, x, y Word) (Word, error) {
+	zero := b.Const(false)
+	switch kind {
+	case dfg.OpAdd:
+		s, _ := b.Adder(x, y, zero)
+		return s, nil
+	case dfg.OpSub:
+		s, _ := b.Subtractor(x, y)
+		return s, nil
+	case dfg.OpMul:
+		return b.Multiplier(x, y), nil
+	case dfg.OpLt:
+		return b.ZeroExtend(Word{b.LessThan(x, y)}, len(x)), nil
+	case dfg.OpGt:
+		return b.ZeroExtend(Word{b.LessThan(y, x)}, len(x)), nil
+	case dfg.OpEq:
+		return b.ZeroExtend(Word{b.Equal(x, y)}, len(x)), nil
+	case dfg.OpAnd:
+		return b.AndW(x, y), nil
+	case dfg.OpOr:
+		return b.OrW(x, y), nil
+	case dfg.OpXor:
+		return b.XorW(x, y), nil
+	default:
+		return nil, fmt.Errorf("gates: operation %s not supported in hardware generation", kind)
+	}
+}
+
+// OpUnary instantiates a unary operation.
+func (b *Builder) OpUnary(kind dfg.OpKind, x Word) (Word, error) {
+	switch kind {
+	case dfg.OpNot:
+		return b.NotW(x), nil
+	case dfg.OpMov:
+		return x, nil
+	default:
+		return nil, fmt.Errorf("gates: unary operation %s not supported", kind)
+	}
+}

@@ -1,0 +1,157 @@
+package hdl
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+)
+
+var opKinds = map[string]dfg.OpKind{
+	"+":   dfg.OpAdd,
+	"-":   dfg.OpSub,
+	"*":   dfg.OpMul,
+	"<":   dfg.OpLt,
+	">":   dfg.OpGt,
+	"=":   dfg.OpEq,
+	"and": dfg.OpAnd,
+	"or":  dfg.OpOr,
+	"xor": dfg.OpXor,
+}
+
+// elaborate lowers the parsed entity into a data-flow graph: every
+// operation instance becomes a fresh node (the default allocation of
+// paper §3), every variable assignment is SSA-renamed, and out-port
+// signal assignments mark primary outputs.
+func (e *entity) elaborate(width int) (*dfg.Graph, error) {
+	g := dfg.New(e.name, width)
+	env := map[string]dfg.ValueID{}
+	version := map[string]int{}
+	isOut := map[string]bool{}
+	for _, o := range e.outputs {
+		isOut[o] = true
+	}
+	declared := map[string]bool{}
+	for _, in := range e.inputs {
+		if declared[in] {
+			return nil, fmt.Errorf("hdl: duplicate port %q", in)
+		}
+		declared[in] = true
+		env[in] = g.Input(in)
+	}
+	for _, v := range e.vars {
+		if declared[v] {
+			return nil, fmt.Errorf("hdl: variable %q collides with a port", v)
+		}
+		declared[v] = true
+	}
+	for _, o := range e.outputs {
+		if declared[o] {
+			return nil, fmt.Errorf("hdl: duplicate port %q", o)
+		}
+		declared[o] = true
+	}
+
+	nConst := 0
+	nOp := 0
+	var lower func(x expr) (dfg.ValueID, error)
+	lower = func(x expr) (dfg.ValueID, error) {
+		switch x := x.(type) {
+		case numExpr:
+			nConst++
+			return g.Const(fmt.Sprintf("__k%d_%d", x.val, nConst), x.val), nil
+		case identExpr:
+			v, ok := env[x.name]
+			if !ok {
+				return dfg.NoValue, fmt.Errorf("hdl: %q read before assignment", x.name)
+			}
+			return v, nil
+		case unExpr:
+			v, err := lower(x.x)
+			if err != nil {
+				return dfg.NoValue, err
+			}
+			nOp++
+			return g.Op(dfg.OpNot, fmt.Sprintf("__t%d", nOp), v), nil
+		case binExpr:
+			k, ok := opKinds[x.op]
+			if !ok {
+				return dfg.NoValue, fmt.Errorf("hdl: unsupported operator %q", x.op)
+			}
+			l, err := lower(x.l)
+			if err != nil {
+				return dfg.NoValue, err
+			}
+			r, err := lower(x.r)
+			if err != nil {
+				return dfg.NoValue, err
+			}
+			nOp++
+			return g.Op(k, fmt.Sprintf("__t%d", nOp), l, r), nil
+		}
+		return dfg.NoValue, fmt.Errorf("hdl: unknown expression node %T", x)
+	}
+
+	for _, st := range e.stmts {
+		v, err := lower(st.expr)
+		if err != nil {
+			return nil, fmt.Errorf("hdl: line %d: %w", st.line, err)
+		}
+		if st.isSignal {
+			if !isOut[st.target] {
+				return nil, fmt.Errorf("hdl: line %d: signal assignment to %q, which is not an out port", st.line, st.target)
+			}
+			if _, already := env[st.target]; already {
+				return nil, fmt.Errorf("hdl: line %d: out port %q assigned twice", st.line, st.target)
+			}
+			// Give the driving value the port's name where possible so the
+			// simulation interface matches the entity.
+			val := g.Value(v)
+			if val.Kind == dfg.ValTemp && !val.IsOutput {
+				if err := g.Rename(v, st.target); err != nil {
+					return nil, err
+				}
+			} else {
+				v = g.Op(dfg.OpMov, st.target, v)
+			}
+			g.MarkOutput(v)
+			env[st.target] = v
+			continue
+		}
+		if isOut[st.target] {
+			return nil, fmt.Errorf("hdl: line %d: variable assignment to out port %q (use <=)", st.line, st.target)
+		}
+		found := false
+		for _, vr := range e.vars {
+			if vr == st.target {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("hdl: line %d: assignment to undeclared variable %q", st.line, st.target)
+		}
+		// SSA rename on reassignment.
+		name := st.target
+		if _, already := env[name]; already {
+			version[name]++
+			name = fmt.Sprintf("%s_%d", st.target, version[st.target]+1)
+		}
+		val := g.Value(v)
+		if val.Kind == dfg.ValTemp && !val.IsOutput {
+			if err := g.Rename(v, name); err != nil {
+				return nil, err
+			}
+		} else {
+			v = g.Op(dfg.OpMov, name, v)
+		}
+		env[st.target] = v
+	}
+	for _, o := range e.outputs {
+		if _, ok := env[o]; !ok {
+			return nil, fmt.Errorf("hdl: out port %q never assigned", o)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,241 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfg"
+)
+
+const diffeqSrc = `
+-- HAL differential equation benchmark, one Euler step.
+entity diffeq is
+  port ( x, y, u, dx, a : in integer;
+         x1, y1, u1, exit_c : out integer );
+end entity;
+
+architecture behaviour of diffeq is
+begin
+  process (x, y, u, dx, a)
+    variable t1, t2, t3, t4, t5, t6 : integer;
+  begin
+    t1 := 3 * x;
+    t2 := u * dx;
+    t3 := 3 * y;
+    t4 := t1 * t2;
+    t5 := t3 * dx;
+    t6 := u - t4;
+    u1 <= t6 - t5;
+    y1 <= y + u * dx;
+    x1 <= x + dx;
+    exit_c <= (x + dx) < a;
+  end process;
+end architecture;
+`
+
+func TestCompileDiffeq(t *testing.T) {
+	g, err := Compile(diffeqSrc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "diffeq" {
+		t.Errorf("entity name %q", g.Name)
+	}
+	if len(g.Inputs()) != 5 {
+		t.Errorf("%d inputs, want 5", len(g.Inputs()))
+	}
+	if len(g.Outputs()) != 4 {
+		t.Errorf("%d outputs, want 4", len(g.Outputs()))
+	}
+	// Semantics check against the hand-built Diffeq benchmark.
+	in := map[string]uint64{"x": 2, "y": 5, "u": 100, "dx": 1, "a": 10}
+	got, err := g.Interpret(16, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dfg.Diffeq(16)
+	want, err := ref.Interpret(16, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[string]string{"x1": "x1", "y1": "y1", "u1": "u1", "exit_c": "exit"}
+	for hdlName, refName := range pairs {
+		if got[hdlName] != want[refName] {
+			t.Errorf("output %s = %d, reference %s = %d", hdlName, got[hdlName], refName, want[refName])
+		}
+	}
+}
+
+func TestCompileOperatorsAndPrecedence(t *testing.T) {
+	src := `
+entity prec is
+  port ( a, b, c : in integer; o1, o2, o3, o4 : out integer );
+end entity;
+architecture rtl of prec is
+begin
+  process (a, b, c)
+  begin
+    o1 <= a + b * c;
+    o2 <= (a + b) * c;
+    o3 <= a < b + c;
+    o4 <= not a and b or c xor a;
+  end process;
+end architecture;
+`
+	g, err := Compile(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{"a": 3, "b": 5, "c": 2}
+	out, err := g.Interpret(8, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["o1"] != (3+5*2)&0xFF {
+		t.Errorf("o1 = %d", out["o1"])
+	}
+	if out["o2"] != ((3+5)*2)&0xFF {
+		t.Errorf("o2 = %d", out["o2"])
+	}
+	if out["o3"] != 1 { // 3 < 7
+		t.Errorf("o3 = %d", out["o3"])
+	}
+	// not a = 0xFC; and b = 0x04; or c = 0x06; xor a = 0x05
+	if out["o4"] != 0x05 {
+		t.Errorf("o4 = %#x, want 0x05", out["o4"])
+	}
+}
+
+func TestSSAReassignment(t *testing.T) {
+	src := `
+entity ssa is
+  port ( a : in integer; y : out integer );
+end entity;
+architecture rtl of ssa is
+begin
+  process (a)
+    variable t : integer;
+  begin
+    t := a + a;
+    t := t * a;
+    t := t - a;
+    y <= t;
+  end process;
+end architecture;
+`
+	g, err := Compile(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Interpret(8, map[string]uint64{"a": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ((uint64(10) * 5) - 5) & 0xFF
+	if out["y"] != want {
+		t.Errorf("y = %d, want %d", out["y"], want)
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("%d nodes, want 3 (one per operation instance)", g.NumNodes())
+	}
+}
+
+func TestPassThroughAndDuplicatedDrivers(t *testing.T) {
+	src := `
+entity pt is
+  port ( a, b : in integer; y, z : out integer );
+end entity;
+architecture rtl of pt is
+begin
+  process (a, b)
+    variable t : integer;
+  begin
+    t := a + b;
+    y <= t;
+    z <= t;
+  end process;
+end architecture;
+`
+	g, err := Compile(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Interpret(8, map[string]uint64{"a": 1, "b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != 3 || out["z"] != 3 {
+		t.Errorf("y=%d z=%d", out["y"], out["z"])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"read before assign", `
+entity e is port ( a : in integer; y : out integer ); end entity;
+architecture r of e is begin process (a)
+variable t : integer;
+begin y <= t; end process; end architecture;`, "read before assignment"},
+		{"undeclared variable", `
+entity e is port ( a : in integer; y : out integer ); end entity;
+architecture r of e is begin process (a)
+begin q := a; y <= a + a; end process; end architecture;`, "undeclared variable"},
+		{"signal to non-port", `
+entity e is port ( a : in integer; y : out integer ); end entity;
+architecture r of e is begin process (a)
+variable t : integer;
+begin t <= a; y <= a + a; end process; end architecture;`, "not an out port"},
+		{"unassigned output", `
+entity e is port ( a : in integer; y, z : out integer ); end entity;
+architecture r of e is begin process (a)
+begin y <= a + a; end process; end architecture;`, "never assigned"},
+		{"double output assign", `
+entity e is port ( a : in integer; y : out integer ); end entity;
+architecture r of e is begin process (a)
+begin y <= a + a; y <= a - a; end process; end architecture;`, "assigned twice"},
+		{"bad char", `entity e % is`, "unexpected character"},
+		{"bad syntax", `entity is`, "expected"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, 8)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	src := `
+-- leading comment
+ENTITY UpCase IS
+  PORT ( A : IN INTEGER; Y : OUT INTEGER );
+END ENTITY;
+ARCHITECTURE R OF UpCase IS
+BEGIN
+  PROCESS (A) -- trailing comment
+  BEGIN
+    Y <= A + 1; -- add one
+  END PROCESS;
+END ARCHITECTURE;
+`
+	g, err := Compile(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Interpret(8, map[string]uint64{"a": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != 10 {
+		t.Errorf("y = %d", out["y"])
+	}
+}

@@ -1,0 +1,117 @@
+// Package hdl is the behavioural front end of the synthesis system: it
+// compiles a VHDL-like behavioural subset into the data-flow graph IR of
+// package dfg, performing the default allocation-friendly elaboration the
+// paper attributes to its VHDL compiler (each operation instance becomes
+// an individual node).
+//
+// The accepted subset is a single entity with integer in/out ports and a
+// single process of variable declarations and assignments:
+//
+//	entity diffeq is
+//	  port ( x, y, u, dx, a : in integer;
+//	         x1, y1, u1 : out integer );
+//	end entity;
+//
+//	architecture behaviour of diffeq is
+//	begin
+//	  process (x, y, u, dx, a)
+//	    variable t1, t2 : integer;
+//	  begin
+//	    t1 := 3 * x;
+//	    t2 := u * dx;
+//	    x1 <= x + dx;
+//	    ...
+//	  end process;
+//	end architecture;
+//
+// Expressions support +, -, *, <, >, =, and, or, xor, not, parentheses
+// and integer literals. Variables may be reassigned; the elaborator
+// SSA-renames each assignment. Signal assignment (<=) to an out port
+// defines a primary output.
+package hdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token types.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tSym // punctuation and operators, stored in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer tokenizes the source.
+type lexer struct {
+	src   []rune
+	pos   int
+	line  int
+	items []token
+}
+
+// lex tokenizes src. VHDL comments ("-- ...") run to end of line.
+// Identifiers and keywords are case-insensitive and lowered.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '-' && l.peek(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(c):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.emit(tIdent, strings.ToLower(string(l.src[start:l.pos])))
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tNumber, string(l.src[start:l.pos]))
+		case c == ':' && l.peek(1) == '=':
+			l.pos += 2
+			l.emit(tSym, ":=")
+		case c == '<' && l.peek(1) == '=':
+			l.pos += 2
+			l.emit(tSym, "<=")
+		case strings.ContainsRune("+-*<>=();:,", c):
+			l.pos++
+			l.emit(tSym, string(c))
+		default:
+			return nil, fmt.Errorf("hdl: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tEOF, "")
+	return l.items, nil
+}
+
+func (l *lexer) peek(off int) rune {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.items = append(l.items, token{kind: k, text: text, line: l.line})
+}

@@ -1,0 +1,402 @@
+package hdl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dfg"
+)
+
+// Compile parses a behavioural description and elaborates it into a
+// data-flow graph at the given bit width.
+func Compile(src string, width int) (*dfg.Graph, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	ent, err := p.parseDesign()
+	if err != nil {
+		return nil, err
+	}
+	return ent.elaborate(width)
+}
+
+// ast types.
+
+type entity struct {
+	name    string
+	inputs  []string
+	outputs []string
+	vars    []string
+	stmts   []assign
+}
+
+type assign struct {
+	target   string
+	isSignal bool // "<=" (signal/port) vs ":=" (variable)
+	expr     expr
+	line     int
+}
+
+type expr interface{}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+type unExpr struct {
+	op string
+	x  expr
+}
+
+type identExpr struct{ name string }
+
+type numExpr struct{ val int64 }
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tSym || t.text != s {
+		return fmt.Errorf("hdl: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	t := p.next()
+	if t.kind != tIdent || t.text != kw {
+		return fmt.Errorf("hdl: line %d: expected %q, got %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().kind == tIdent && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.cur().kind == tSym && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("hdl: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t.text, nil
+}
+
+// parseDesign parses entity ... end; architecture ... end.
+func (p *parser) parseDesign() (*entity, error) {
+	ent := &entity{}
+	if err := p.expectKw("entity"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ent.name = name
+	if err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("port"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	for {
+		var names []string
+		for {
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, n)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(":"); err != nil {
+			return nil, err
+		}
+		dir := p.next()
+		if dir.kind != tIdent || (dir.text != "in" && dir.text != "out") {
+			return nil, fmt.Errorf("hdl: line %d: expected in/out, got %q", dir.line, dir.text)
+		}
+		if err := p.expectKw("integer"); err != nil {
+			return nil, err
+		}
+		if dir.text == "in" {
+			ent.inputs = append(ent.inputs, names...)
+		} else {
+			ent.outputs = append(ent.outputs, names...)
+		}
+		if p.acceptSym(";") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("entity")
+	if p.cur().kind == tIdent && p.cur().text == ent.name {
+		p.pos++
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+
+	if err := p.expectKw("architecture"); err != nil {
+		return nil, err
+	}
+	if _, err := p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("of"); err != nil {
+		return nil, err
+	}
+	if _, err := p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("process"); err != nil {
+		return nil, err
+	}
+	if p.acceptSym("(") { // sensitivity list, ignored
+		for !p.acceptSym(")") {
+			p.pos++
+			if p.cur().kind == tEOF {
+				return nil, fmt.Errorf("hdl: unterminated sensitivity list")
+			}
+		}
+	}
+	// Variable declarations.
+	for p.acceptKw("variable") {
+		for {
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ent.vars = append(ent.vars, n)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(":"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("integer"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	// Statements until "end process".
+	for !(p.cur().kind == tIdent && p.cur().text == "end") {
+		target, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		line := p.cur().line
+		var isSignal bool
+		switch {
+		case p.acceptSym(":="):
+			isSignal = false
+		case p.acceptSym("<="):
+			isSignal = true
+		default:
+			return nil, fmt.Errorf("hdl: line %d: expected := or <= after %q", line, target)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		ent.stmts = append(ent.stmts, assign{target: target, isSignal: isSignal, expr: e, line: line})
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("process"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("architecture")
+	if p.cur().kind == tIdent {
+		p.pos++
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return ent, nil
+}
+
+// Expression grammar (loosest to tightest binding, VHDL-style):
+//
+//	expr   := rel (("and"|"or"|"xor") rel)*
+//	rel    := sum (("<"|">"|"=") sum)?
+//	sum    := term (("+"|"-") term)*
+//	term   := factor ("*" factor)*
+//	factor := "not" factor | ident | number | "(" expr ")"
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.acceptKw("and") {
+			r, err := p.parseRel()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{"and", l, r}
+		} else if p.acceptKw("or") {
+			r, err := p.parseRel()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{"or", l, r}
+		} else if p.acceptKw("xor") {
+			r, err := p.parseRel()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{"xor", l, r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseRel() (expr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<", ">", "="} {
+		if p.acceptSym(op) {
+			r, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return binExpr{op, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSym("+"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{"+", l, r}
+		case p.acceptSym("-"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{"-", l, r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("*") {
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{"*", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	if p.acceptKw("not") {
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{"not", x}, nil
+	}
+	t := p.next()
+	switch t.kind {
+	case tIdent:
+		return identExpr{t.text}, nil
+	case tNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("hdl: line %d: bad number %q", t.line, t.text)
+		}
+		return numExpr{v}, nil
+	case tSym:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("hdl: line %d: unexpected token %q in expression", t.line, t.text)
+}

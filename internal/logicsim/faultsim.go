@@ -1,0 +1,112 @@
+package logicsim
+
+import (
+	"repro/internal/fault"
+	"repro/internal/gates"
+)
+
+// FaultSimResult reports a fault-simulation campaign.
+type FaultSimResult struct {
+	Detected []bool // parallel to the fault list
+	NumDet   int
+	// DetectCycle[i] is the first cycle at which fault i was detected, -1
+	// if undetected.
+	DetectCycle []int
+}
+
+// Coverage returns the fraction of faults detected.
+func (r *FaultSimResult) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 0
+	}
+	return float64(r.NumDet) / float64(len(r.Detected))
+}
+
+// FaultSim runs serial-fault, parallel-pattern stuck-at fault simulation:
+// the good circuit is simulated once over the vector sequence, then each
+// fault is injected in turn and simulated until its outputs diverge from
+// the good circuit (fault dropping) or the vectors are exhausted.
+// vectors[t] holds one 64-bit word per primary input; all 64 pattern lanes
+// are compared, so a caller can pack 64 independent test sequences into
+// one campaign (lane l of every word forms sequence l).
+func FaultSim(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64) (*FaultSimResult, error) {
+	good, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	golden := good.Run(vectors)
+
+	bad, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultSimResult{
+		Detected:    make([]bool, len(flist)),
+		DetectCycle: make([]int, len(flist)),
+	}
+	for i := range flist {
+		res.DetectCycle[i] = -1
+		bad.Fault = &flist[i]
+		bad.Reset()
+		for t, v := range vectors {
+			po := bad.Step(v)
+			for k, w := range po {
+				if w != golden[t][k] {
+					res.Detected[i] = true
+					res.DetectCycle[i] = t
+					break
+				}
+			}
+			if res.Detected[i] {
+				break
+			}
+		}
+		if res.Detected[i] {
+			res.NumDet++
+		}
+	}
+	return res, nil
+}
+
+// FaultSimIncremental extends a previous campaign with new vectors,
+// simulating only the still-undetected faults. detected is updated in
+// place; the number of newly detected faults is returned. cycleBase
+// offsets the recorded detect cycles.
+func FaultSimIncremental(c *gates.Circuit, flist []fault.Fault, detected []bool, detectCycle []int, vectors [][]uint64, cycleBase int) (int, error) {
+	good, err := New(c)
+	if err != nil {
+		return 0, err
+	}
+	golden := good.Run(vectors)
+	bad, err := New(c)
+	if err != nil {
+		return 0, err
+	}
+	newly := 0
+	for i := range flist {
+		if detected[i] {
+			continue
+		}
+		bad.Fault = &flist[i]
+		bad.Reset()
+		for t, v := range vectors {
+			po := bad.Step(v)
+			diff := false
+			for k, w := range po {
+				if w != golden[t][k] {
+					diff = true
+					break
+				}
+			}
+			if diff {
+				detected[i] = true
+				if detectCycle != nil {
+					detectCycle[i] = cycleBase + t
+				}
+				newly++
+				break
+			}
+		}
+	}
+	return newly, nil
+}

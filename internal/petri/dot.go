@@ -1,0 +1,39 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the net in Graphviz dot format: places as circles (doubled
+// for initial, bold for final, annotated with duration), transitions as
+// bars, guards as edge labels.
+func (n *Net) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", "petri_"+n.Name)
+	for _, p := range n.places {
+		attrs := []string{fmt.Sprintf("label=\"%s\\nd=%d\"", p.Name, p.Duration), "shape=circle"}
+		if p.Initial {
+			attrs = append(attrs, "peripheries=2")
+		}
+		if p.Final {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  p%d [%s];\n", p.ID, strings.Join(attrs, " "))
+	}
+	for _, t := range n.transitions {
+		label := t.Name
+		if t.Guard != "" {
+			label = fmt.Sprintf("%s\\n[%s=%v]", t.Name, t.Guard, t.GuardVal)
+		}
+		fmt.Fprintf(&b, "  t%d [label=\"%s\" shape=box height=0.1 style=filled fillcolor=black fontcolor=white];\n", t.ID, label)
+		for _, p := range t.In {
+			fmt.Fprintf(&b, "  p%d -> t%d;\n", p, t.ID)
+		}
+		for _, p := range t.Out {
+			fmt.Fprintf(&b, "  t%d -> p%d;\n", t.ID, p)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/gates"
+)
+
+func TestLFSRCyclesFullPeriod(t *testing.T) {
+	// A 4-bit LFSR with zero-escape must visit all 16 states.
+	b := gates.NewBuilder()
+	q := b.DFFWord("q", 4)
+	b.SetDWord(q, b.LFSRNext(q))
+	b.OutputWord("q", q)
+	c, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate by hand over 16 cycles.
+	state := uint64(0)
+	seen := map[uint64]bool{}
+	next := func(s uint64) uint64 {
+		vals := map[int]bool{}
+		order, _ := c.Levelize()
+		dffIdx := map[int]int{}
+		for i, id := range c.DFFs {
+			dffIdx[id] = i
+		}
+		for _, id := range order {
+			g := c.Gates[id]
+			switch g.Kind {
+			case gates.KDFF:
+				vals[id] = s&(1<<uint(dffIdx[id])) != 0
+			case gates.KXor:
+				vals[id] = vals[g.In[0]] != vals[g.In[1]]
+			case gates.KNor:
+				v := false
+				for _, in := range g.In {
+					v = v || vals[in]
+				}
+				vals[id] = !v
+			case gates.KBuf:
+				vals[id] = vals[g.In[0]]
+			}
+		}
+		var out uint64
+		for i, id := range c.DFFs {
+			if vals[c.Gates[id].In[0]] {
+				out |= 1 << uint(i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < 16; i++ {
+		if seen[state] {
+			t.Fatalf("state %x repeated after %d steps", state, i)
+		}
+		seen[state] = true
+		state = next(state)
+	}
+	if len(seen) != 16 {
+		t.Fatalf("visited %d states, want 16", len(seen))
+	}
+}
+
+func TestLFSRTapsTable(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		taps := gates.LFSRTaps(w)
+		if len(taps) == 0 || taps[0] != w {
+			t.Errorf("width %d: taps %v", w, taps)
+		}
+	}
+	if taps := gates.LFSRTaps(11); len(taps) != 2 {
+		t.Errorf("fallback taps %v", taps)
+	}
+}
+
+func TestGenerateBISTStructure(t *testing.T) {
+	g := dfg.Tseng(4)
+	d := buildLeftEdge(t, g)
+	nl, err := GenerateBIST(d, 4, NormalMode, []int{0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.BISTTpg) != 1 || len(nl.BISTMisr) != 1 {
+		t.Fatalf("BIST registers not recorded: %v %v", nl.BISTTpg, nl.BISTMisr)
+	}
+	foundEn, foundSig := false, false
+	for _, id := range nl.C.Inputs {
+		if nl.C.Gates[id].Name == "bist_en" {
+			foundEn = true
+		}
+	}
+	for _, name := range nl.C.OutputNames {
+		if strings.HasPrefix(name, "sig_r1") {
+			foundSig = true
+		}
+	}
+	if !foundEn || !foundSig {
+		t.Fatalf("BIST ports missing: en=%v sig=%v", foundEn, foundSig)
+	}
+
+	// Normal-mode function must be unchanged with bist_en low.
+	in := map[string]uint64{"a": 3, "b": 5, "c": 7}
+	want, err := g.Interpret(4, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nl.SimulatePass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("BIST netlist broke function: %s = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestGenerateBISTRejectsOverlap(t *testing.T) {
+	g := dfg.Tseng(4)
+	d := buildLeftEdge(t, g)
+	if _, err := GenerateBIST(d, 4, NormalMode, []int{0}, []int{0}); err == nil {
+		t.Error("expected overlap error")
+	}
+	if _, err := GenerateBIST(d, 4, NormalMode, []int{77}, nil); err == nil {
+		t.Error("expected range error")
+	}
+}

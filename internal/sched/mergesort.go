@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/dfg"
+)
+
+// Prefer compares two candidate operations during the merge-sort
+// rescheduling of paper §4.3: a negative result schedules a before b, a
+// positive result b before a. Implementations encode the
+// controllability/observability enhancement strategy (rules SR1 and SR2);
+// a zero result falls back to the smaller critical-path increase and then
+// to node id.
+type Prefer func(a, b dfg.NodeID) int
+
+// OrderByStep returns ops sorted by their control step in s (ties by id):
+// the sequential execution order the operations already have on their
+// shared module.
+func OrderByStep(ops []dfg.NodeID, s Schedule) []dfg.NodeID {
+	out := append([]dfg.NodeID(nil), ops...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := s.Step[out[i]], s.Step[out[j]]
+		if si != sj {
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// MergeOrders merges the sequential execution orders of two modules being
+// merged into a single total order, in the manner of a merge sort (paper
+// §4.3.1): at each point the two sequence heads are compared with prefer
+// and the preferred head is emitted. The relative order within each input
+// sequence is preserved, because those operations already share a module.
+func MergeOrders(seqA, seqB []dfg.NodeID, prefer Prefer) []dfg.NodeID {
+	if prefer == nil {
+		prefer = func(a, b dfg.NodeID) int { return int(a - b) }
+	}
+	out := make([]dfg.NodeID, 0, len(seqA)+len(seqB))
+	i, j := 0, 0
+	for i < len(seqA) && j < len(seqB) {
+		c := prefer(seqA[i], seqB[j])
+		if c == 0 {
+			c = int(seqA[i] - seqB[j])
+		}
+		if c <= 0 {
+			out = append(out, seqA[i])
+			i++
+		} else {
+			out = append(out, seqB[j])
+			j++
+		}
+	}
+	out = append(out, seqA[i:]...)
+	out = append(out, seqB[j:]...)
+	return out
+}
+
+// ChainArcs converts a total execution order into the precedence arcs that
+// realize it: one arc between each consecutive pair. Appending these to
+// Problem.Extra forces the list scheduler to place the merged operations in
+// distinct, ordered control steps.
+func ChainArcs(order []dfg.NodeID) [][2]dfg.NodeID {
+	var arcs [][2]dfg.NodeID
+	for i := 0; i+1 < len(order); i++ {
+		arcs = append(arcs, [2]dfg.NodeID{order[i], order[i+1]})
+	}
+	return arcs
+}

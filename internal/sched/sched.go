@@ -1,0 +1,438 @@
+// Package sched implements operation scheduling for high-level synthesis:
+// ASAP/ALAP analysis, latency- and binding-constrained list scheduling, the
+// force-directed scheduler of Paulin and Knight [11] (the paper's Approach
+// 1 baseline), the mobility-path scheduler of Lee et al. [6,7] (Approach
+// 2), and the merge-sort rescheduling transformation of paper §4.3 that
+// realizes the scheduling constraints imposed by module and register
+// mergers.
+//
+// All operations are unit-delay: an operation scheduled in control step s
+// reads its operands during s and writes its result at the end of s, so a
+// data-dependent operation must be scheduled at step s+1 or later.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+)
+
+// Schedule assigns each operation node a control step, 1-based.
+type Schedule struct {
+	Step map[dfg.NodeID]int
+	Len  int // number of control steps (max assigned step)
+}
+
+// Clone returns a deep copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	c := Schedule{Step: make(map[dfg.NodeID]int, len(s.Step)), Len: s.Len}
+	for k, v := range s.Step {
+		c.Step[k] = v
+	}
+	return c
+}
+
+// OpsAt returns the nodes scheduled at the given step, ascending by id.
+func (s Schedule) OpsAt(step int) []dfg.NodeID {
+	var out []dfg.NodeID
+	for n, st := range s.Step {
+		if st == step {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Problem is a scheduling problem: the data-flow graph, extra precedence
+// arcs added by the synthesis transformations (merge-sort orders and
+// lifetime-disjointness arcs), a module binding (operations bound to the
+// same module must occupy distinct control steps), and an optional latency
+// bound.
+type Problem struct {
+	G *dfg.Graph
+	// Extra lists additional precedence arcs: Extra[i][0] must be scheduled
+	// strictly before Extra[i][1].
+	Extra [][2]dfg.NodeID
+	// ExtraWeak lists same-step-permitting arcs: ExtraWeak[i][0] must be
+	// scheduled no later than ExtraWeak[i][1]. They realize the
+	// read-then-overwrite register sharing pattern, where a value may die
+	// in the very step its successor is written.
+	ExtraWeak [][2]dfg.NodeID
+	// ModuleOf binds operations to modules; operations sharing a module id
+	// must be scheduled in pairwise distinct steps. Unbound operations may
+	// be omitted.
+	ModuleOf map[dfg.NodeID]int
+	// MaxLen bounds the schedule length; 0 means unbounded.
+	MaxLen int
+}
+
+// NewProblem returns an unconstrained problem over g.
+func NewProblem(g *dfg.Graph) *Problem {
+	return &Problem{G: g, ModuleOf: map[dfg.NodeID]int{}}
+}
+
+// Clone returns a deep copy of the problem (sharing the graph).
+func (p *Problem) Clone() *Problem {
+	c := &Problem{G: p.G, MaxLen: p.MaxLen, ModuleOf: make(map[dfg.NodeID]int, len(p.ModuleOf))}
+	c.Extra = append(c.Extra, p.Extra...)
+	c.ExtraWeak = append(c.ExtraWeak, p.ExtraWeak...)
+	for k, v := range p.ModuleOf {
+		c.ModuleOf[k] = v
+	}
+	return c
+}
+
+// preds returns data-flow plus extra predecessors of n (deduplicated).
+func (p *Problem) preds(n dfg.NodeID) []dfg.NodeID {
+	out := p.G.Preds(n)
+	seen := map[dfg.NodeID]bool{}
+	for _, x := range out {
+		seen[x] = true
+	}
+	for _, e := range p.Extra {
+		if e[1] == n && !seen[e[0]] {
+			seen[e[0]] = true
+			out = append(out, e[0])
+		}
+	}
+	return out
+}
+
+// succs returns data-flow plus extra successors of n (deduplicated).
+func (p *Problem) succs(n dfg.NodeID) []dfg.NodeID {
+	out := p.G.Succs(n)
+	seen := map[dfg.NodeID]bool{}
+	for _, x := range out {
+		seen[x] = true
+	}
+	for _, e := range p.Extra {
+		if e[0] == n && !seen[e[1]] {
+			seen[e[1]] = true
+			out = append(out, e[1])
+		}
+	}
+	return out
+}
+
+// weakPreds returns the weak (no-later-than) predecessors of n,
+// deduplicated.
+func (p *Problem) weakPreds(n dfg.NodeID) []dfg.NodeID {
+	seen := map[dfg.NodeID]bool{}
+	var out []dfg.NodeID
+	for _, e := range p.ExtraWeak {
+		if e[1] == n && !seen[e[0]] {
+			seen[e[0]] = true
+			out = append(out, e[0])
+		}
+	}
+	return out
+}
+
+// weakSuccs returns the weak successors of n, deduplicated.
+func (p *Problem) weakSuccs(n dfg.NodeID) []dfg.NodeID {
+	seen := map[dfg.NodeID]bool{}
+	var out []dfg.NodeID
+	for _, e := range p.ExtraWeak {
+		if e[0] == n && !seen[e[1]] {
+			seen[e[1]] = true
+			out = append(out, e[1])
+		}
+	}
+	return out
+}
+
+// topo returns a topological order over data-flow plus extra arcs (weak
+// arcs included as ordering edges), or an error if the arcs introduced a
+// cycle.
+func (p *Problem) topo() ([]dfg.NodeID, error) {
+	nn := p.G.NumNodes()
+	indeg := make([]int, nn)
+	for i := 0; i < nn; i++ {
+		indeg[i] = len(p.preds(dfg.NodeID(i))) + len(p.weakPreds(dfg.NodeID(i)))
+	}
+	var queue []dfg.NodeID
+	for i := 0; i < nn; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, dfg.NodeID(i))
+		}
+	}
+	var order []dfg.NodeID
+	for len(queue) > 0 {
+		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, s := range p.succs(n) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+		for _, s := range p.weakSuccs(n) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != nn {
+		return nil, fmt.Errorf("sched: precedence arcs form a cycle")
+	}
+	return order, nil
+}
+
+// ASAP returns the as-soon-as-possible schedule under precedence (data-flow
+// plus extra arcs), ignoring module binding and latency.
+func (p *Problem) ASAP() (Schedule, error) {
+	order, err := p.topo()
+	if err != nil {
+		return Schedule{}, err
+	}
+	s := Schedule{Step: map[dfg.NodeID]int{}}
+	for _, n := range order {
+		step := 1
+		for _, q := range p.preds(n) {
+			if s.Step[q]+1 > step {
+				step = s.Step[q] + 1
+			}
+		}
+		for _, q := range p.weakPreds(n) {
+			if s.Step[q] > step {
+				step = s.Step[q]
+			}
+		}
+		s.Step[n] = step
+		if step > s.Len {
+			s.Len = step
+		}
+	}
+	return s, nil
+}
+
+// ALAP returns the as-late-as-possible schedule for the given latency.
+func (p *Problem) ALAP(latency int) (Schedule, error) {
+	order, err := p.topo()
+	if err != nil {
+		return Schedule{}, err
+	}
+	s := Schedule{Step: map[dfg.NodeID]int{}, Len: latency}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		step := latency
+		for _, q := range p.succs(n) {
+			if s.Step[q]-1 < step {
+				step = s.Step[q] - 1
+			}
+		}
+		for _, q := range p.weakSuccs(n) {
+			if s.Step[q] < step {
+				step = s.Step[q]
+			}
+		}
+		if step < 1 {
+			return Schedule{}, fmt.Errorf("sched: latency %d infeasible", latency)
+		}
+		s.Step[n] = step
+	}
+	return s, nil
+}
+
+// Mobility returns, for every operation, ALAP(latency) - ASAP: the
+// scheduling freedom used by force-directed and mobility-path scheduling.
+func (p *Problem) Mobility(latency int) (map[dfg.NodeID]int, error) {
+	asap, err := p.ASAP()
+	if err != nil {
+		return nil, err
+	}
+	alap, err := p.ALAP(latency)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[dfg.NodeID]int, p.G.NumNodes())
+	for n, a := range asap.Step {
+		m[n] = alap.Step[n] - a
+	}
+	return m, nil
+}
+
+// List performs priority-driven list scheduling honouring precedence, the
+// module binding (one operation per module per step), and MaxLen. priority
+// breaks ties among ready operations: smaller values schedule first; if
+// nil, ALAP step (criticality) is used. It returns an error if MaxLen is
+// exceeded or the arcs are cyclic.
+func (p *Problem) List(priority map[dfg.NodeID]float64) (Schedule, error) {
+	order, err := p.topo()
+	if err != nil {
+		return Schedule{}, err
+	}
+	if priority == nil {
+		// Critical-path priority: earlier ALAP step first.
+		asap, err := p.ASAP()
+		if err != nil {
+			return Schedule{}, err
+		}
+		alap, err := p.ALAP(asap.Len)
+		if err != nil {
+			return Schedule{}, err
+		}
+		priority = make(map[dfg.NodeID]float64, len(alap.Step))
+		for n, st := range alap.Step {
+			priority[n] = float64(st)
+		}
+	}
+	_ = order
+	s := Schedule{Step: map[dfg.NodeID]int{}}
+	nn := p.G.NumNodes()
+	remainingPreds := make([]int, nn)
+	for i := 0; i < nn; i++ {
+		remainingPreds[i] = len(p.preds(dfg.NodeID(i))) + len(p.weakPreds(dfg.NodeID(i)))
+	}
+	var ready []dfg.NodeID
+	for i := 0; i < nn; i++ {
+		if remainingPreds[i] == 0 {
+			ready = append(ready, dfg.NodeID(i))
+		}
+	}
+	scheduled := 0
+	for step := 1; scheduled < nn; step++ {
+		if p.MaxLen > 0 && step > p.MaxLen {
+			return Schedule{}, fmt.Errorf("sched: latency bound %d exceeded", p.MaxLen)
+		}
+		// Schedule within the step until a fixpoint: weak-arc successors of
+		// an operation placed this step may become placeable in the same
+		// step.
+		usedModule := map[int]bool{}
+		chosen := map[dfg.NodeID]bool{}
+		var stillReady []dfg.NodeID
+		for {
+			// Ready ops whose strict predecessors finished before step and
+			// whose weak predecessors are placed no later than step.
+			var avail []dfg.NodeID
+			for _, n := range ready {
+				if chosen[n] {
+					continue
+				}
+				ok := true
+				for _, q := range p.preds(n) {
+					if st, done := s.Step[q]; !done || st >= step {
+						ok = false
+						break
+					}
+				}
+				for _, q := range p.weakPreds(n) {
+					if st, done := s.Step[q]; !done || st > step {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					avail = append(avail, n)
+				}
+			}
+			sort.Slice(avail, func(i, j int) bool {
+				pi, pj := priority[avail[i]], priority[avail[j]]
+				if pi != pj {
+					return pi < pj
+				}
+				return avail[i] < avail[j]
+			})
+			progress := false
+			for _, n := range avail {
+				if m, bound := p.ModuleOf[n]; bound {
+					if usedModule[m] {
+						continue
+					}
+					usedModule[m] = true
+				}
+				s.Step[n] = step
+				if step > s.Len {
+					s.Len = step
+				}
+				chosen[n] = true
+				progress = true
+				scheduled++
+				for _, q := range p.succs(n) {
+					remainingPreds[q]--
+					if remainingPreds[q] == 0 {
+						stillReady = append(stillReady, q)
+					}
+				}
+				for _, q := range p.weakSuccs(n) {
+					remainingPreds[q]--
+					if remainingPreds[q] == 0 {
+						stillReady = append(stillReady, q)
+					}
+				}
+			}
+			ready = append(ready, stillReady...)
+			stillReady = nil
+			if !progress {
+				break
+			}
+		}
+		var nextReady []dfg.NodeID
+		for _, n := range ready {
+			if !chosen[n] {
+				nextReady = append(nextReady, n)
+			}
+		}
+		ready = nextReady
+	}
+	return s, nil
+}
+
+// Verify checks that s satisfies the problem: every node scheduled, all
+// precedence arcs respected with unit delay, module binding honoured, and
+// latency within MaxLen.
+func (p *Problem) Verify(s Schedule) error {
+	for _, n := range p.G.Nodes() {
+		st, ok := s.Step[n.ID]
+		if !ok {
+			return fmt.Errorf("sched: node %s unscheduled", n.Name)
+		}
+		if st < 1 {
+			return fmt.Errorf("sched: node %s at invalid step %d", n.Name, st)
+		}
+		if p.MaxLen > 0 && st > p.MaxLen {
+			return fmt.Errorf("sched: node %s at step %d exceeds latency %d", n.Name, st, p.MaxLen)
+		}
+		for _, q := range p.preds(n.ID) {
+			if s.Step[q] >= st {
+				return fmt.Errorf("sched: node %s at step %d not after predecessor %s at step %d",
+					n.Name, st, p.G.Node(q).Name, s.Step[q])
+			}
+		}
+		for _, q := range p.weakPreds(n.ID) {
+			if s.Step[q] > st {
+				return fmt.Errorf("sched: node %s at step %d before weak predecessor %s at step %d",
+					n.Name, st, p.G.Node(q).Name, s.Step[q])
+			}
+		}
+	}
+	atStep := map[[2]int]dfg.NodeID{} // (module, step) -> node
+	for n, m := range p.ModuleOf {
+		key := [2]int{m, s.Step[n]}
+		if other, clash := atStep[key]; clash {
+			return fmt.Errorf("sched: nodes %s and %s share module %d at step %d",
+				p.G.Node(n).Name, p.G.Node(other).Name, m, s.Step[n])
+		}
+		atStep[key] = n
+	}
+	return nil
+}
+
+// String renders the schedule step by step.
+func (s Schedule) String(g *dfg.Graph) string {
+	var b []byte
+	for step := 1; step <= s.Len; step++ {
+		b = append(b, fmt.Sprintf("step %2d:", step)...)
+		for _, n := range s.OpsAt(step) {
+			nd := g.Node(n)
+			b = append(b, fmt.Sprintf(" %s(%s)", nd.Name, nd.Kind)...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,25 @@
+-- HAL differential-equation benchmark (one Euler step), in the VHDL
+-- subset accepted by the hlts front end. Try:
+--   go run ./cmd/hlts -vhdl testdata/diffeq.vhd -width 8 -method ours -atpg
+entity diffeq is
+  port ( x, y, u, dx, a : in integer;
+         x1, y1, u1, exit_c : out integer );
+end entity;
+
+architecture behaviour of diffeq is
+begin
+  process (x, y, u, dx, a)
+    variable t1, t2, t3, t4, t5, t6 : integer;
+  begin
+    t1 := 3 * x;
+    t2 := u * dx;
+    t3 := 3 * y;
+    t4 := t1 * t2;
+    t5 := t3 * dx;
+    t6 := u - t4;
+    u1 <= t6 - t5;
+    y1 <= y + u * dx;
+    x1 <= x + dx;
+    exit_c <= (x + dx) < a;
+  end process;
+end architecture;

@@ -1,0 +1,21 @@
+-- 4-tap FIR section with a saturation flag (see examples/vhdlflow).
+entity fir4 is
+  port ( x0, x1, x2, x3, limit : in integer;
+         y, over : out integer );
+end entity;
+
+architecture behaviour of fir4 is
+begin
+  process (x0, x1, x2, x3, limit)
+    variable p0, p1, p2, p3, s1, s2 : integer;
+  begin
+    p0 := 5 * x0;
+    p1 := 9 * x1;
+    p2 := 9 * x2;
+    p3 := 5 * x3;
+    s1 := p0 + p1;
+    s2 := p2 + p3;
+    y    <= s1 + s2;
+    over <= limit < (s1 + s2);
+  end process;
+end architecture;
