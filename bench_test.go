@@ -8,11 +8,15 @@ package hlts
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/fault"
+	"repro/internal/logicsim"
 	"repro/internal/report"
 	"repro/internal/rtl"
 )
@@ -115,7 +119,7 @@ func BenchmarkFigure3Schedules(b *testing.B) {
 // observation: (k, α, β) over the Ex benchmark.
 func BenchmarkParamSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := report.ParameterSweep(dfg.BenchEx, 4)
+		rows, err := report.ParameterSweep(dfg.BenchEx, 4, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,6 +221,56 @@ func BenchmarkGateLevelFaultSim(b *testing.B) {
 		if _, err := atpg.Run(nl.C, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFaultSimParallel measures the parallel fault-simulation engine
+// on the Table 1 substrate — the full collapsed fault list of the 4-bit
+// Ex design synthesized by the paper's algorithm — at increasing worker
+// counts. workers=1 is the exact sequential path; the other sub-benchmarks
+// record the speedup trajectory (expect ≥2x at workers=4 on a 4+-core
+// machine; on fewer cores the extra workers only add pool overhead).
+// Results are bit-identical at every worker count.
+func BenchmarkFaultSimParallel(b *testing.B) {
+	g, err := dfg.ByName(dfg.BenchEx, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(g, core.DefaultParams(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := rtl.Generate(res.Design, 4, rtl.NormalMode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flist := fault.Collapse(nl.C)
+	rng := rand.New(rand.NewSource(1998))
+	vectors := make([][]uint64, 256)
+	for t := range vectors {
+		v := make([]uint64, len(nl.C.Inputs))
+		for i := range v {
+			v[i] = rng.Uint64()
+		}
+		vectors[t] = v
+	}
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 && n != 8 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var det int
+			for i := 0; i < b.N; i++ {
+				r, err := logicsim.FaultSimWorkers(nl.C, flist, vectors, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				det = r.NumDet
+			}
+			b.ReportMetric(float64(det), "detected")
+			b.ReportMetric(float64(len(flist)), "faults")
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	hlts "repro"
 	"repro/internal/testability"
@@ -34,6 +35,7 @@ func main() {
 		scanN   = flag.Int("scan", 0, "select up to N partial-scan registers before ATPG")
 		seed    = flag.Int64("seed", 1, "ATPG seed")
 		faults  = flag.Int("faults", 1500, "fault sample size (0 = all)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for synthesis and ATPG (1 = sequential; results are identical at any count)")
 		dot     = flag.Bool("dot", false, "print the behaviour as Graphviz dot and exit")
 		verilog = flag.String("verilog", "", "write the generated netlist as structural Verilog to this file")
 		etpnOut = flag.Bool("etpn", false, "print the synthesized ETPN data path")
@@ -56,6 +58,7 @@ func main() {
 	par.Beta = *beta
 	par.Slack = *slack
 	par.LoopSignal = *loopSig
+	par.Workers = *workers
 	if par.LoopSignal == "" && (*bench == hlts.BenchDiffeq || *bench == hlts.BenchPaulin) {
 		par.LoopSignal = "exit"
 	}
@@ -113,6 +116,7 @@ func main() {
 		fmt.Printf("\ngate-level: %s\n", n.C.Stats())
 		cfg := hlts.DefaultATPGConfig(*seed)
 		cfg.SampleFaults = *faults
+		cfg.Workers = *workers
 		ares, err := hlts.TestDesign(n, cfg)
 		if err != nil {
 			fatal(err)

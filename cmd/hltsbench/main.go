@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,12 +41,14 @@ func main() {
 		seed     = flag.Int64("seed", 1998, "experiment seed")
 		faults   = flag.Int("faults", 1500, "fault sample size per campaign")
 		parallel = flag.Int("parallel", 4, "concurrent experiment cells")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines inside each synthesis/campaign (1 = sequential; results are identical at any count)")
 		markdown = flag.Bool("markdown", false, "emit tables as markdown")
 	)
 	flag.Parse()
 
 	cfg := report.DefaultConfig(*seed)
 	cfg.Parallel = *parallel
+	cfg.Workers = *workers
 	var ws []int
 	for _, f := range strings.Split(*widths, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(f))
@@ -130,7 +133,7 @@ func main() {
 		ran = true
 		fmt.Println("--- Parameter sweep (paper §5 remark) ---")
 		for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
-			rows, err := report.ParameterSweep(bench, ws[0])
+			rows, err := report.ParameterSweep(bench, ws[0], *workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -141,7 +144,7 @@ func main() {
 		ran = true
 		fmt.Println("--- Design-choice ablations ---")
 		for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
-			rows, err := report.Ablations(bench, ws[0])
+			rows, err := report.Ablations(bench, ws[0], *workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -151,7 +154,7 @@ func main() {
 	if *all || *scanFlg {
 		ran = true
 		fmt.Println("--- Partial-scan extension study (diffeq, 4-bit) ---")
-		text, err := report.ScanStudy(dfg.BenchDiffeq, 4, 4, *seed)
+		text, err := report.ScanStudy(dfg.BenchDiffeq, 4, 4, *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}

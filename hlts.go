@@ -17,6 +17,14 @@
 // The three baselines of the paper's evaluation (CAMAD, force-directed
 // scheduling + testable left-edge, mobility-path scheduling + testable
 // left-edge) run through RunMethod.
+//
+// Synthesis and test generation are parallel internally: Params.Workers
+// and ATPGConfig.Workers set the number of worker goroutines used for the
+// tie-policy exploration, fault simulation and the deterministic ATPG
+// phase (0 = one per CPU, 1 = exact sequential execution). Results are
+// bit-identical at every worker count — the engine in internal/parallel
+// merges worker output in a fixed order — so the knobs trade wall-clock
+// time only, never reproducibility.
 package hlts
 
 import (

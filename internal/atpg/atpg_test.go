@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -297,6 +298,70 @@ func TestFrameEscalation(t *testing.T) {
 	if got := frameEscalation(4); len(got) != 2 || got[1] != 4 {
 		t.Errorf("frameEscalation(4) = %v", got)
 	}
+	// Below the clamp boundary no frame count may be scheduled at all:
+	// widening past the configured cap is exactly the bug Run's clamp
+	// guards against.
+	for _, mf := range []int{0, -1} {
+		if got := frameEscalation(mf); len(got) != 0 {
+			t.Errorf("frameEscalation(%d) = %v, want empty", mf, got)
+		}
+	}
+}
+
+// TestMaxFramesClampRegression pins the MaxFrames validation: a campaign
+// configured with MaxFrames 0 must behave exactly like MaxFrames 1 (one
+// single-frame PODEM window), not silently run a wider window.
+func TestMaxFramesClampRegression(t *testing.T) {
+	c := benchCircuit(t, dfg.BenchTseng, 4)
+	base := DefaultConfig(5)
+	base.SampleFaults = 120
+	base.RandomBatches = 1
+	base.Restarts = 1
+	run := func(maxFrames int) *Result {
+		cfg := base
+		cfg.MaxFrames = maxFrames
+		res, err := Run(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r0, r1 := run(0), run(1)
+	if !reflect.DeepEqual(r0, r1) {
+		t.Errorf("MaxFrames 0 and 1 diverge:\n%+v\nvs\n%+v", r0, r1)
+	}
+	// A single-frame window can only produce single-cycle deterministic
+	// tests: every deterministic sequence in the retained test set must
+	// have length 1 (random-phase sequences keep SeqLen cycles).
+	for _, seq := range r0.TestSet {
+		if len(seq) != base.SeqLen && len(seq) != 1 {
+			t.Errorf("MaxFrames 0 produced a %d-cycle test window", len(seq))
+		}
+	}
+}
+
+// TestCampaignWorkersEquivalence is the determinism contract of the
+// parallel engine: any worker count must produce a bit-identical Result.
+func TestCampaignWorkersEquivalence(t *testing.T) {
+	c := benchCircuit(t, dfg.BenchTseng, 4)
+	base := DefaultConfig(9)
+	base.SampleFaults = 200
+	base.RandomBatches = 2
+	run := func(workers int) *Result {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("Workers=%d diverges from sequential:\n%+v\nvs\n%+v", workers, got, want)
+		}
+	}
 }
 
 func TestEval3TruthTables(t *testing.T) {
@@ -342,12 +407,12 @@ func completions(v int8) []int8 {
 	return []int8{v}
 }
 
-func TestPopcountAndCount(t *testing.T) {
-	if popcount(0) != 0 || popcount(0b1011) != 3 || popcount(^uint64(0)) != 64 {
-		t.Error("popcount wrong")
-	}
+func TestCount(t *testing.T) {
 	if count([]bool{true, false, true}) != 2 {
 		t.Error("count wrong")
+	}
+	if count(nil) != 0 {
+		t.Error("count of nil wrong")
 	}
 }
 

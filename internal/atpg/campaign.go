@@ -2,12 +2,15 @@ package atpg
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/gates"
 	"repro/internal/logicsim"
+	"repro/internal/parallel"
 )
 
 // Config tunes an ATPG campaign.
@@ -22,7 +25,8 @@ type Config struct {
 	// SeqLen is the length (clock cycles) of each random sequence.
 	SeqLen int
 	// MaxFrames bounds the time-frame expansion of the deterministic
-	// phase; it should exceed the design's sequential depth.
+	// phase; it should exceed the design's sequential depth. Values below
+	// 1 are clamped to 1 by Run.
 	MaxFrames int
 	// BacktrackLimit bounds PODEM's search per fault, frame count and
 	// restart.
@@ -30,6 +34,11 @@ type Config struct {
 	// Restarts is the number of randomized PODEM restarts tried per fault
 	// and frame count after the deterministic attempt.
 	Restarts int
+	// Workers bounds the goroutines used by the fault-simulation and
+	// deterministic PODEM phases (0 = one per CPU, 1 = sequential). The
+	// result is bit-identical at every worker count: per-fault work is
+	// speculated in parallel but committed in fault-index order.
+	Workers int
 }
 
 // DefaultConfig returns the campaign settings used by the experiment
@@ -71,7 +80,9 @@ type Result struct {
 	TestSet [][][]uint64
 }
 
-// A testSequence collects cycles of single-lane PI vectors.
+// extractLane narrows a 64-lane vector sequence to the single pattern
+// lane `lane`: the returned sequence has one word per primary input per
+// cycle with only bit 0 meaningful, the format Result.TestSet retains.
 func extractLane(vectors [][]uint64, lane int) [][]uint64 {
 	out := make([][]uint64, len(vectors))
 	for t, v := range vectors {
@@ -96,8 +107,16 @@ func (r *Result) String() string {
 // Run executes a full campaign on the circuit: fault collapsing and
 // sampling, a random phase with fault dropping, then deterministic PODEM
 // over time frames for the remaining faults (each generated test is fault
-// simulated against the remaining list).
+// simulated against the remaining list). Both phases run on cfg.Workers
+// goroutines; results are committed in fault-index order, so every field
+// of Result — including Effort and the fault-dropping cascade — is
+// byte-identical to a sequential (Workers: 1) run.
 func Run(c *gates.Circuit, cfg Config) (*Result, error) {
+	if cfg.MaxFrames < 1 {
+		// A frame window below 1 is meaningless; clamping here keeps
+		// frameEscalation from widening the window past the configured cap.
+		cfg.MaxFrames = 1
+	}
 	flist := fault.Sample(fault.Collapse(c), cfg.SampleFaults)
 	res := &Result{TotalFaults: len(flist)}
 	if len(flist) == 0 {
@@ -119,12 +138,12 @@ func Run(c *gates.Circuit, cfg Config) (*Result, error) {
 			}
 			vectors[t] = v
 		}
-		lanes, evals, err := randomBatch(c, flist, detected, vectors)
+		lanes, evals, err := randomBatch(c, flist, detected, vectors, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		randGateEvals += evals
-		res.TestCycles += popcount(lanes) * cfg.SeqLen
+		res.TestCycles += bits.OnesCount64(lanes) * cfg.SeqLen
 		for lane := 0; lane < 64; lane++ {
 			if lanes&(1<<uint(lane)) != 0 {
 				res.TestSet = append(res.TestSet, extractLane(vectors, lane))
@@ -141,98 +160,174 @@ func Run(c *gates.Circuit, cfg Config) (*Result, error) {
 	// each window run one deterministic PODEM attempt followed by
 	// randomized restarts (randomized backtrace choices escape the
 	// unproductive regions a fixed heuristic can wedge into).
+	//
+	// The per-fault searches are independent — each restart RNG is seeded
+	// from (Seed, fault index) — so they are speculated on cfg.Workers
+	// goroutines and committed in fault-index order. A commit that
+	// generates a test fault-simulates it against the remaining list and
+	// publishes drop flags; speculative results for faults an earlier
+	// commit dropped are discarded (their search, including its
+	// implication count, never happened in the sequential schedule), which
+	// keeps Effort and the fault-dropping cascade byte-identical.
 	frameSchedule := frameEscalation(cfg.MaxFrames)
-	var detImpl int64
+	var undet []int
 	for i := range flist {
-		if detected[i] {
-			continue
+		if !detected[i] {
+			undet = append(undet, i)
 		}
-		proven := false
-	search:
-		for _, frames := range frameSchedule {
-			for restart := 0; restart <= cfg.Restarts; restart++ {
-				var rng2 *rand.Rand
-				if restart > 0 {
-					rng2 = rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(restart)))
-				}
-				pr, err := podem(c, flist[i], frames, cfg.BacktrackLimit, rng2)
-				if err != nil {
-					return nil, err
-				}
-				detImpl += pr.Implications
-				if pr.Success {
-					detected[i] = true
-					res.DetDetected++
-					res.TestCycles += frames
-					// Fault-simulate the generated test against the
-					// remaining faults (test-set reuse / fault dropping).
-					vec := vectorsFromAssignment(c, pr.Vectors)
-					res.TestSet = append(res.TestSet, extractLane(vec, 0))
-					newly, err := logicsim.FaultSimIncremental(c, flist, detected, nil, vec, 0)
-					if err != nil {
-						return nil, err
-					}
-					res.DetDetected += newly
-					proven = true
-					break search
-				}
-				if !pr.Aborted {
-					// The decision tree was exhausted: within this frame
-					// window the fault is untestable regardless of search
-					// order; no point in restarting.
-					if frames == frameSchedule[len(frameSchedule)-1] {
-						res.Untestable++
-						proven = true
-						break search
-					}
-					break // escalate frames
-				}
+	}
+	dropped := make([]atomic.Bool, len(flist))
+	var detImpl int64
+	err := parallel.Ordered(cfg.Workers, len(undet),
+		func(j int) (detOutcome, error) {
+			i := undet[j]
+			if dropped[i].Load() {
+				// Already dropped by a committed test: the commit side will
+				// discard this placeholder. Errors are carried inside the
+				// outcome so a speculative search on a dropped fault can
+				// never surface one the sequential run would not have seen.
+				return detOutcome{}, nil
 			}
-		}
-		if !proven && !detected[i] {
-			res.Aborted++
-		}
+			return searchFault(c, flist[i], i, cfg, frameSchedule), nil
+		},
+		func(j int, o detOutcome) error {
+			i := undet[j]
+			if detected[i] {
+				return nil // dropped by an earlier committed test
+			}
+			if o.err != nil {
+				return o.err
+			}
+			detImpl += o.impl
+			switch {
+			case o.success:
+				detected[i] = true
+				res.DetDetected++
+				res.TestCycles += o.frames
+				// Fault-simulate the generated test against the remaining
+				// faults (test-set reuse / fault dropping).
+				res.TestSet = append(res.TestSet, extractLane(o.vec, 0))
+				newly, err := logicsim.FaultSimIncrementalWorkers(c, flist, detected, nil, o.vec, 0, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				res.DetDetected += newly
+				for k := range flist {
+					if detected[k] && !dropped[k].Load() {
+						dropped[k].Store(true)
+					}
+				}
+			case o.untestable:
+				res.Untestable++
+			default:
+				res.Aborted++
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	res.Coverage = float64(count(detected)) / float64(len(flist))
 	res.Effort = (randGateEvals + detImpl) / 1000
 	return res, nil
 }
 
+// detOutcome is the result of one fault's full deterministic search.
+type detOutcome struct {
+	impl       int64
+	success    bool
+	frames     int
+	vec        [][]uint64
+	untestable bool
+	aborted    bool
+	err        error
+}
+
+// searchFault runs the complete frame-escalation/restart PODEM search for
+// one fault. It depends only on (c, f, i, cfg), never on the state of
+// other faults, so it can run speculatively on any worker.
+func searchFault(c *gates.Circuit, f fault.Fault, i int, cfg Config, frameSchedule []int) detOutcome {
+	var out detOutcome
+	for _, frames := range frameSchedule {
+		for restart := 0; restart <= cfg.Restarts; restart++ {
+			var rng2 *rand.Rand
+			if restart > 0 {
+				rng2 = rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(restart)))
+			}
+			pr, err := podem(c, f, frames, cfg.BacktrackLimit, rng2)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			out.impl += pr.Implications
+			if pr.Success {
+				out.success = true
+				out.frames = frames
+				out.vec = vectorsFromAssignment(c, pr.Vectors)
+				return out
+			}
+			if !pr.Aborted {
+				// The decision tree was exhausted: within this frame window
+				// the fault is untestable regardless of search order; no
+				// point in restarting.
+				if frames == frameSchedule[len(frameSchedule)-1] {
+					out.untestable = true
+					return out
+				}
+				break // escalate frames
+			}
+		}
+	}
+	out.aborted = true
+	return out
+}
+
 // randomBatch fault-simulates 64 parallel random sequences over the
 // undetected faults, marking detections and returning the mask of lanes
-// that detected at least one new fault.
-func randomBatch(c *gates.Circuit, flist []fault.Fault, detected []bool, vectors [][]uint64) (uint64, int64, error) {
+// that detected at least one new fault. Faults are independent within a
+// batch (each is compared against the shared golden run), so the list is
+// partitioned across workers; the lane mask and evaluation count are
+// merged per fault index and are identical at every worker count.
+func randomBatch(c *gates.Circuit, flist []fault.Fault, detected []bool, vectors [][]uint64, workers int) (uint64, int64, error) {
 	good, err := logicsim.New(c)
 	if err != nil {
 		return 0, 0, err
 	}
 	golden := good.Run(vectors)
-	bad, err := logicsim.New(c)
+	nGates := int64(c.NumGates())
+	laneOf := make([]uint64, len(flist))
+	evalsOf := make([]int64, len(flist))
+	err = parallel.ForEachWorker(workers, len(flist),
+		func() (*logicsim.Sim, error) { return logicsim.New(c) },
+		func(bad *logicsim.Sim, i int) error {
+			if detected[i] {
+				return nil
+			}
+			bad.Fault = &flist[i]
+			bad.Reset()
+			for t, v := range vectors {
+				po := bad.Step(v)
+				evalsOf[i] += nGates
+				var diff uint64
+				for k, w := range po {
+					diff |= w ^ golden[t][k]
+				}
+				if diff != 0 {
+					detected[i] = true
+					laneOf[i] = diff & (-diff) // nominate the lowest detecting lane
+					break
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, 0, err
 	}
 	var lanes uint64
 	var evals int64
-	nGates := int64(c.NumGates())
 	for i := range flist {
-		if detected[i] {
-			continue
-		}
-		bad.Fault = &flist[i]
-		bad.Reset()
-		for t, v := range vectors {
-			po := bad.Step(v)
-			evals += nGates
-			var diff uint64
-			for k, w := range po {
-				diff |= w ^ golden[t][k]
-			}
-			if diff != 0 {
-				detected[i] = true
-				lanes |= diff & (-diff) // nominate the lowest detecting lane
-				break
-			}
-		}
+		lanes |= laneOf[i]
+		evals += evalsOf[i]
 	}
 	return lanes, evals, nil
 }
@@ -254,6 +349,8 @@ func vectorsFromAssignment(c *gates.Circuit, assign [][]int8) [][]uint64 {
 }
 
 // frameEscalation returns the increasing frame counts tried per fault.
+// maxFrames must be at least 1 (Run clamps); for smaller values the
+// schedule is empty rather than silently exceeding the cap.
 func frameEscalation(maxFrames int) []int {
 	set := map[int]bool{}
 	var out []int
@@ -264,9 +361,6 @@ func frameEscalation(maxFrames int) []int {
 		}
 	}
 	sort.Ints(out)
-	if len(out) == 0 {
-		out = []int{1}
-	}
 	return out
 }
 
@@ -276,15 +370,6 @@ func count(bs []bool) int {
 		if b {
 			n++
 		}
-	}
-	return n
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
 	}
 	return n
 }

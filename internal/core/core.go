@@ -23,6 +23,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dfg"
 	"repro/internal/etpn"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/testability"
 )
@@ -89,11 +90,17 @@ type Params struct {
 	Selection  SelectionPolicy
 	Reschedule ReschedulePolicy
 	// NoExplore disables the tie-break exploration: by default Synthesize
-	// runs the greedy merger under three deterministic tie-break policies
-	// and keeps the design with the lowest final α·E + β·H (the authors
-	// applied Algorithm 1 manually and resolved near-ties by judgement;
-	// the exploration recovers that judgement mechanically).
+	// runs the greedy merger under the four deterministic tie-break
+	// policies (tieHighScore, tieLowScore, tieStrict, tieNoDepBonus; see
+	// tiePolicies) and keeps the design with the lowest final α·E + β·H
+	// (the authors applied Algorithm 1 manually and resolved near-ties by
+	// judgement; the exploration recovers that judgement mechanically).
 	NoExplore bool
+	// Workers bounds the goroutines used for the tie-policy exploration
+	// (0 = one per CPU, 1 = sequential). The winning design is selected by
+	// a fixed-order reduction over the policy results, so the outcome is
+	// identical at every worker count.
+	Workers int
 	// ModulesOnly restricts merging to functional modules, leaving every
 	// value in its own register — the allocation visible in the paper's
 	// CAMAD table rows (R: a, R: b, ...).
@@ -406,22 +413,39 @@ const (
 	tieNoDepBonus
 )
 
+// tiePolicies lists every tie-break policy Synthesize explores, in the
+// fixed order the winner reduction visits them. Synthesize's doc comment
+// and the exploration loop both derive from this list, so the two cannot
+// drift apart again.
+var tiePolicies = []tiePolicy{tieHighScore, tieLowScore, tieStrict, tieNoDepBonus}
+
 // Synthesize runs Algorithm 1 on g and returns the synthesized design.
-// Unless par.NoExplore is set, the greedy merger is run under three
-// deterministic tie-break policies and the design with the smallest final
-// α·E + β·H wins (ties on that, in turn, go to the fewer-self-loops
-// design).
+// Unless par.NoExplore is set, the greedy merger is run under the four
+// deterministic tie-break policies of tiePolicies — tieHighScore,
+// tieLowScore, tieStrict and tieNoDepBonus — and the design with the
+// smallest final α·E + β·H wins (ties on that, in turn, go to the
+// fewer-self-loops design). The policies are independent, so they run
+// concurrently on up to par.Workers goroutines; the winner is chosen by a
+// sequential reduction in tiePolicies order, making the result identical
+// at every worker count.
 func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
 	if par.NoExplore {
 		return synthesizeOnce(g, par, tieHighScore)
 	}
+	results := make([]*Result, len(tiePolicies))
+	if err := parallel.ForEach(par.Workers, len(tiePolicies), func(i int) error {
+		r, err := synthesizeOnce(g, par, tiePolicies[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var best *Result
 	var bestCost float64
-	for _, tp := range []tiePolicy{tieHighScore, tieLowScore, tieStrict, tieNoDepBonus} {
-		r, err := synthesizeOnce(g, par, tp)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range results {
 		c := par.Alpha*float64(r.ExecTime) + par.Beta*r.Area.Total
 		var better bool
 		switch {

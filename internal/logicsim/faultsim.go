@@ -3,6 +3,7 @@ package logicsim
 import (
 	"repro/internal/fault"
 	"repro/internal/gates"
+	"repro/internal/parallel"
 )
 
 // FaultSimResult reports a fault-simulation campaign.
@@ -29,39 +30,55 @@ func (r *FaultSimResult) Coverage() float64 {
 // vectors[t] holds one 64-bit word per primary input; all 64 pattern lanes
 // are compared, so a caller can pack 64 independent test sequences into
 // one campaign (lane l of every word forms sequence l).
+//
+// FaultSim uses one worker per CPU; see FaultSimWorkers for the knob. The
+// result is bit-identical at every worker count.
 func FaultSim(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64) (*FaultSimResult, error) {
+	return FaultSimWorkers(c, flist, vectors, 0)
+}
+
+// FaultSimWorkers is FaultSim with an explicit worker count: the fault
+// list is partitioned across up to `workers` goroutines, each with its own
+// private Sim instance, and Detected/DetectCycle are merged in fault order
+// (each fault owns its slot, so the merge is free and deterministic).
+// workers < 1 means one per CPU; 1 reproduces the sequential loop exactly.
+func FaultSimWorkers(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64, workers int) (*FaultSimResult, error) {
 	good, err := New(c)
 	if err != nil {
 		return nil, err
 	}
 	golden := good.Run(vectors)
 
-	bad, err := New(c)
-	if err != nil {
-		return nil, err
-	}
 	res := &FaultSimResult{
 		Detected:    make([]bool, len(flist)),
 		DetectCycle: make([]int, len(flist)),
 	}
-	for i := range flist {
-		res.DetectCycle[i] = -1
-		bad.Fault = &flist[i]
-		bad.Reset()
-		for t, v := range vectors {
-			po := bad.Step(v)
-			for k, w := range po {
-				if w != golden[t][k] {
-					res.Detected[i] = true
-					res.DetectCycle[i] = t
+	err = parallel.ForEachWorker(workers, len(flist),
+		func() (*Sim, error) { return New(c) },
+		func(bad *Sim, i int) error {
+			res.DetectCycle[i] = -1
+			bad.Fault = &flist[i]
+			bad.Reset()
+			for t, v := range vectors {
+				po := bad.Step(v)
+				for k, w := range po {
+					if w != golden[t][k] {
+						res.Detected[i] = true
+						res.DetectCycle[i] = t
+						break
+					}
+				}
+				if res.Detected[i] {
 					break
 				}
 			}
-			if res.Detected[i] {
-				break
-			}
-		}
-		if res.Detected[i] {
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range res.Detected {
+		if d {
 			res.NumDet++
 		}
 	}
@@ -71,41 +88,58 @@ func FaultSim(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64) (*Fault
 // FaultSimIncremental extends a previous campaign with new vectors,
 // simulating only the still-undetected faults. detected is updated in
 // place; the number of newly detected faults is returned. cycleBase
-// offsets the recorded detect cycles.
+// offsets the recorded detect cycles. One worker per CPU; see
+// FaultSimIncrementalWorkers.
 func FaultSimIncremental(c *gates.Circuit, flist []fault.Fault, detected []bool, detectCycle []int, vectors [][]uint64, cycleBase int) (int, error) {
+	return FaultSimIncrementalWorkers(c, flist, detected, detectCycle, vectors, cycleBase, 0)
+}
+
+// FaultSimIncrementalWorkers is FaultSimIncremental with an explicit
+// worker count. Each fault touches only its own detected/detectCycle slot,
+// so the update is race-free and the outcome is bit-identical at every
+// worker count; workers < 1 means one per CPU.
+func FaultSimIncrementalWorkers(c *gates.Circuit, flist []fault.Fault, detected []bool, detectCycle []int, vectors [][]uint64, cycleBase, workers int) (int, error) {
 	good, err := New(c)
 	if err != nil {
 		return 0, err
 	}
 	golden := good.Run(vectors)
-	bad, err := New(c)
+	newlyOf := make([]bool, len(flist))
+	err = parallel.ForEachWorker(workers, len(flist),
+		func() (*Sim, error) { return New(c) },
+		func(bad *Sim, i int) error {
+			if detected[i] {
+				return nil
+			}
+			bad.Fault = &flist[i]
+			bad.Reset()
+			for t, v := range vectors {
+				po := bad.Step(v)
+				diff := false
+				for k, w := range po {
+					if w != golden[t][k] {
+						diff = true
+						break
+					}
+				}
+				if diff {
+					detected[i] = true
+					if detectCycle != nil {
+						detectCycle[i] = cycleBase + t
+					}
+					newlyOf[i] = true
+					break
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, err
 	}
 	newly := 0
-	for i := range flist {
-		if detected[i] {
-			continue
-		}
-		bad.Fault = &flist[i]
-		bad.Reset()
-		for t, v := range vectors {
-			po := bad.Step(v)
-			diff := false
-			for k, w := range po {
-				if w != golden[t][k] {
-					diff = true
-					break
-				}
-			}
-			if diff {
-				detected[i] = true
-				if detectCycle != nil {
-					detectCycle[i] = cycleBase + t
-				}
-				newly++
-				break
-			}
+	for _, n := range newlyOf {
+		if n {
+			newly++
 		}
 	}
 	return newly, nil

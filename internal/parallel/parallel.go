@@ -1,0 +1,181 @@
+// Package parallel provides the bounded worker pool and deterministic
+// ordered-merge helpers behind the system's evaluation hot paths: fault
+// simulation, the deterministic ATPG phase, the tie-policy exploration of
+// core.Synthesize and the experiment fan-out of cmd/hltsbench.
+//
+// Every helper makes the same guarantee: the observable result is
+// independent of the worker count and of goroutine scheduling, and a
+// worker count of 1 degenerates to a plain sequential loop with no
+// goroutines at all. Callers uphold their half of the contract by making
+// each job a pure function of its index (writes go to slot i of a result
+// slice) and by funnelling all shared mutable state through the ordered
+// commit callback of Ordered.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values below 1 mean "one worker
+// per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// (after Workers normalization) and returns the recorded error with the
+// smallest index, matching what a sequential loop would return. fn's
+// observable effects must depend only on i, never on which worker runs it
+// or in what order; under that contract the result is identical at every
+// worker count.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with per-worker state: setup runs once on each
+// worker goroutine — typically to allocate a private simulator — and its
+// result is passed to every fn call that worker executes. Indices are
+// distributed dynamically, so fn must not care which worker's state it
+// receives beyond reusing it as scratch space.
+//
+// On error the parallel path still finishes the remaining jobs (jobs are
+// index-independent, so this is side-effect free) and reports the
+// smallest-index error; the sequential path stops at the first error,
+// which under the purity contract is the same one.
+func ForEachWorker[S any](workers, n int, setup func() (S, error), fn func(s S, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		s, err := setup()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := fn(s, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	setupErrs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := setup()
+			if err != nil {
+				setupErrs[w] = err
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(s, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range setupErrs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ordered runs produce(i) for every i in [0, n) on up to `workers`
+// goroutines and calls commit(i, v) strictly in increasing index order on
+// the calling goroutine. This is the speculative-pipeline primitive: a
+// later index may be produced before an earlier one commits, so produce
+// must be a pure function of its index (plus any caller-managed atomic
+// flags published by commit — a produce that consults such a flag may
+// return a cheap placeholder, which commit is then responsible for
+// recognizing and discarding). commit owns all shared mutable state and
+// needs no locking.
+//
+// The first error observed in commit order — whether from produce or from
+// commit itself — aborts the run after the in-flight jobs drain, exactly
+// mirroring the sequential produce/commit loop.
+func Ordered[T any](workers, n int, produce func(i int) (T, error), commit func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := commit(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !stop.Load() {
+					results[i], errs[i] = produce(i)
+				}
+				close(ready[i])
+			}
+		}()
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		<-ready[i]
+		if errs[i] != nil {
+			err = errs[i]
+			break
+		}
+		if cerr := commit(i, results[i]); cerr != nil {
+			err = cerr
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	return err
+}

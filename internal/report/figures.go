@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/etpn"
+	"repro/internal/parallel"
 	"repro/internal/rtl"
 	"repro/internal/scan"
 	"repro/internal/sched"
@@ -138,32 +139,49 @@ type SweepRow struct {
 
 // ParameterSweep varies (k, α, β) on a benchmark, substantiating the
 // paper's §5 remark that "the chosen parameters do not influence so much
-// the final results".
-func ParameterSweep(bench string, width int) ([]SweepRow, error) {
+// the final results". The grid points are independent synthesis runs, so
+// they fan out across up to `workers` goroutines (0 = one per CPU) with
+// rows collected in grid order; the output is identical at every worker
+// count.
+func ParameterSweep(bench string, width, workers int) ([]SweepRow, error) {
 	g, err := dfg.ByName(bench, width)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SweepRow
+	type point struct {
+		k    int
+		a, b float64
+	}
+	var grid []point
 	for _, k := range []int{1, 2, 3, 5} {
 		for _, ab := range [][2]float64{{2, 1}, {10, 1}, {1, 10}, {1, 1}} {
-			par := core.DefaultParams(width)
-			par.K = k
-			par.Alpha, par.Beta = ab[0], ab[1]
-			par.LoopSignal = loopSignalFor(bench)
-			res, err := core.Synthesize(g, par)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SweepRow{
-				K: k, Alpha: ab[0], Beta: ab[1],
-				Modules:   res.Design.Alloc.NumModules(),
-				Registers: res.Design.Alloc.NumRegs(),
-				Mux:       res.Mux.Muxes,
-				ExecTime:  res.ExecTime,
-				Area:      res.Area.Total,
-			})
+			grid = append(grid, point{k, ab[0], ab[1]})
 		}
+	}
+	rows := make([]SweepRow, len(grid))
+	err = parallel.ForEach(workers, len(grid), func(i int) error {
+		pt := grid[i]
+		par := core.DefaultParams(width)
+		par.K = pt.k
+		par.Alpha, par.Beta = pt.a, pt.b
+		par.LoopSignal = loopSignalFor(bench)
+		par.Workers = workers
+		res, err := core.Synthesize(g, par)
+		if err != nil {
+			return err
+		}
+		rows[i] = SweepRow{
+			K: pt.k, Alpha: pt.a, Beta: pt.b,
+			Modules:   res.Design.Alloc.NumModules(),
+			Registers: res.Design.Alloc.NumRegs(),
+			Mux:       res.Mux.Muxes,
+			ExecTime:  res.ExecTime,
+			Area:      res.Area.Total,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -194,8 +212,9 @@ type AblationRow struct {
 // Ablations isolates the paper's design choices on one benchmark:
 // balance-driven versus connectivity-driven pair selection, SR-guided
 // merge-sort versus naive append rescheduling, and integrated versus
-// phase-separated (frozen-schedule) synthesis.
-func Ablations(bench string, width int) ([]AblationRow, error) {
+// phase-separated (frozen-schedule) synthesis. The variants fan out
+// across up to `workers` goroutines with rows collected in variant order.
+func Ablations(bench string, width, workers int) ([]AblationRow, error) {
 	g, err := dfg.ByName(bench, width)
 	if err != nil {
 		return nil, err
@@ -209,16 +228,18 @@ func Ablations(bench string, width int) ([]AblationRow, error) {
 		{"append rescheduling", func(p *core.Params) { p.Reschedule = core.RescheduleAppend }},
 		{"frozen schedule (phase-separated)", func(p *core.Params) { p.Reschedule = core.RescheduleFrozen }},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
+	rows := make([]AblationRow, len(variants))
+	err = parallel.ForEach(workers, len(variants), func(i int) error {
+		v := variants[i]
 		par := core.DefaultParams(width)
 		par.LoopSignal = loopSignalFor(bench)
+		par.Workers = workers
 		v.mod(&par)
 		res, err := core.Synthesize(g, par)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Variant:   v.name,
 			Modules:   res.Design.Alloc.NumModules(),
 			Registers: res.Design.Alloc.NumRegs(),
@@ -226,7 +247,11 @@ func Ablations(bench string, width int) ([]AblationRow, error) {
 			SelfLoops: res.Design.SelfLoops(),
 			Area:      res.Area.Total,
 			MeanTest:  testability.MeanTestability(res.Design, res.Metrics),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -246,14 +271,16 @@ func RenderAblations(bench string, rows []AblationRow) string {
 // ScanStudy measures the partial-scan extension: coverage and effort as
 // scan registers (selected by the testability-guided greedy of package
 // scan) are added to the synthesized design, over the full collapsed
-// fault list.
-func ScanStudy(bench string, width, maxScan int, seed int64) (string, error) {
+// fault list. `workers` is the goroutine budget inside the synthesis and
+// each campaign (0 = one per CPU).
+func ScanStudy(bench string, width, maxScan int, seed int64, workers int) (string, error) {
 	g, err := dfg.ByName(bench, width)
 	if err != nil {
 		return "", err
 	}
 	par := core.DefaultParams(width)
 	par.LoopSignal = loopSignalFor(bench)
+	par.Workers = workers
 	res, err := core.Synthesize(g, par)
 	if err != nil {
 		return "", err
@@ -265,6 +292,7 @@ func ScanStudy(bench string, width, maxScan int, seed int64) (string, error) {
 	cfg := atpg.DefaultConfig(seed)
 	cfg.SampleFaults = 0
 	cfg.RandomBatches = 2
+	cfg.Workers = workers
 	for n := 0; n <= len(sel.Regs); n++ {
 		nl, err := rtl.GenerateWithScan(res.Design, width, rtl.NormalMode, sel.Regs[:n])
 		if err != nil {

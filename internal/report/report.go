@@ -62,6 +62,11 @@ type Config struct {
 	ATPGFor func(width int) atpg.Config
 	// Parallel bounds concurrent cells (1 = sequential).
 	Parallel int
+	// Workers is threaded into core.Params.Workers and atpg.Config.Workers
+	// of every cell: the goroutine budget inside one synthesis or campaign
+	// (0 = one per CPU, 1 = sequential). Results are identical at every
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration reproducing the paper's setup.
@@ -161,6 +166,7 @@ func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
 	par := cfg.ParamsFor(width)
 	par.Width = width
 	par.LoopSignal = loopSignalFor(bench)
+	par.Workers = cfg.Workers
 	res, err := core.Run(method, g, par)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%d: %w", bench, method, width, err)
@@ -170,6 +176,7 @@ func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
 		return nil, fmt.Errorf("%s/%s/%d: %w", bench, method, width, err)
 	}
 	acfg := cfg.ATPGFor(width)
+	acfg.Workers = cfg.Workers
 	if acfg.MaxFrames < 2*(nl.Steps+1) {
 		acfg.MaxFrames = 2 * (nl.Steps + 1)
 	}

@@ -93,7 +93,7 @@ func TestScheduleFigures(t *testing.T) {
 }
 
 func TestParameterSweepStable(t *testing.T) {
-	rows, err := ParameterSweep(dfg.BenchEx, 4)
+	rows, err := ParameterSweep(dfg.BenchEx, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestParameterSweepStable(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	rows, err := Ablations(dfg.BenchEx, 4)
+	rows, err := Ablations(dfg.BenchEx, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestMethodLabel(t *testing.T) {
 }
 
 func TestScanStudy(t *testing.T) {
-	text, err := ScanStudy(dfg.BenchTseng, 4, 2, 1)
+	text, err := ScanStudy(dfg.BenchTseng, 4, 2, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -386,7 +386,17 @@ func buildPorts(d *etpn.Design, b *gates.Builder, modNode, modID int, nodeBus fu
 		ports[a.ToPort] = append(ports[a.ToPort], src{a.From, a.Steps})
 	}
 	out := map[int]gates.Word{}
-	for port, srcs := range ports {
+	// Build ports in sorted order: the loop creates gates, so iterating the
+	// map directly would let Go's randomized map order leak into the gate
+	// numbering of the netlist (same function, different structure run to
+	// run — and a different PODEM search trajectory).
+	portIDs := make([]int, 0, len(ports))
+	for port := range ports {
+		portIDs = append(portIDs, port)
+	}
+	sort.Ints(portIDs)
+	for _, port := range portIDs {
+		srcs := ports[port]
 		sort.Slice(srcs, func(i, j int) bool { return srcs[i].from < srcs[j].from })
 		if len(srcs) == 1 {
 			bus, err := nodeBus(srcs[0].from)

@@ -223,3 +223,33 @@ func TestCtrlNamesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateDeterministic regenerates the netlist of every synthesis
+// flow several times and requires byte-identical Verilog. Regression for
+// buildPorts iterating its port map in Go's randomized order, which let
+// the gate numbering (and with it the ATPG effort figures of Tables 1-3)
+// vary from run to run.
+func TestGenerateDeterministic(t *testing.T) {
+	g := dfg.Ex(8)
+	par := core.DefaultParams(8)
+	par.Alpha, par.Beta = 10, 1
+	for _, method := range core.Methods() {
+		r, err := core.Run(method, g, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want string
+		for i := 0; i < 8; i++ {
+			n, err := Generate(r.Design, 8, NormalMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := n.Verilog("ex")
+			if i == 0 {
+				want = v
+			} else if v != want {
+				t.Fatalf("%s: netlist generation is nondeterministic (draw %d differs)", method, i)
+			}
+		}
+	}
+}
