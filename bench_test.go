@@ -19,6 +19,7 @@ import (
 	"repro/internal/logicsim"
 	"repro/internal/report"
 	"repro/internal/rtl"
+	"repro/internal/stats"
 )
 
 // benchATPG is the reduced campaign used inside testing.B loops.
@@ -119,7 +120,7 @@ func BenchmarkFigure3Schedules(b *testing.B) {
 // observation: (k, α, β) over the Ex benchmark.
 func BenchmarkParamSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := report.ParameterSweep(dfg.BenchEx, 4, 0)
+		rows, err := report.ParameterSweep(dfg.BenchEx, 4, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,6 +176,47 @@ func BenchmarkAblationReschedule(b *testing.B) {
 				b.ReportMetric(float64(res.Design.Alloc.NumModules()), "modules")
 			}
 		})
+	}
+}
+
+// BenchmarkSynthesize measures the synthesis core per table benchmark
+// and bit width, with the memoized evaluation cache on and off. The
+// cached variants report the build-cache hit rate; CI records the
+// sub-benchmark timings in BENCH_synth.json, where the cache=on /
+// cache=off ratio is the memoization win (expect ≥1.5x on Diffeq at
+// 16 bits).
+func BenchmarkSynthesize(b *testing.B) {
+	for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
+		for _, width := range []int{4, 8, 16} {
+			for _, cached := range []bool{true, false} {
+				mode := "on"
+				if !cached {
+					mode = "off"
+				}
+				b.Run(fmt.Sprintf("%s/w%d/cache=%s", bench, width, mode), func(b *testing.B) {
+					g, err := dfg.ByName(bench, width)
+					if err != nil {
+						b.Fatal(err)
+					}
+					par := core.DefaultParams(width)
+					if bench == dfg.BenchDiffeq {
+						par.LoopSignal = "exit"
+					}
+					par.NoCache = !cached
+					st := stats.New()
+					par.Stats = st
+					for i := 0; i < b.N; i++ {
+						if _, err := core.Synthesize(g, par); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if cached {
+						b.ReportMetric(100*st.HitRate("cache.build"), "build-hit%")
+						b.ReportMetric(100*st.HitRate("cache.metrics"), "metrics-hit%")
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	hlts "repro"
+	"repro/internal/stats"
 	"repro/internal/testability"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		verilog = flag.String("verilog", "", "write the generated netlist as structural Verilog to this file")
 		etpnOut = flag.Bool("etpn", false, "print the synthesized ETPN data path")
 		tstab   = flag.Bool("testability", false, "print the per-node testability analysis")
+		stFlg   = flag.Bool("stats", false, "print synthesis cache/stage statistics after the run")
 	)
 	flag.Parse()
 
@@ -59,6 +61,9 @@ func main() {
 	par.Slack = *slack
 	par.LoopSignal = *loopSig
 	par.Workers = *workers
+	if *stFlg {
+		par.Stats = stats.New()
+	}
 	if par.LoopSignal == "" && (*bench == hlts.BenchDiffeq || *bench == hlts.BenchPaulin) {
 		par.LoopSignal = "exit"
 	}
@@ -122,6 +127,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("ATPG: %s\n", ares)
+	}
+	if par.Stats != nil {
+		fmt.Println("\nsynthesis statistics:")
+		fmt.Print(par.Stats.String())
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/dfg"
 	"repro/internal/report"
+	"repro/internal/stats"
 )
 
 var tableBench = map[int]string{1: dfg.BenchEx, 2: dfg.BenchDct, 3: dfg.BenchDiffeq}
@@ -43,12 +44,18 @@ func main() {
 		parallel = flag.Int("parallel", 4, "concurrent experiment cells")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines inside each synthesis/campaign (1 = sequential; results are identical at any count)")
 		markdown = flag.Bool("markdown", false, "emit tables as markdown")
+		statsFlg = flag.Bool("stats", false, "print synthesis cache/stage statistics after the run")
 	)
 	flag.Parse()
 
+	var st *stats.Stats
+	if *statsFlg {
+		st = stats.New()
+	}
 	cfg := report.DefaultConfig(*seed)
 	cfg.Parallel = *parallel
 	cfg.Workers = *workers
+	cfg.Stats = st
 	var ws []int
 	for _, f := range strings.Split(*widths, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(f))
@@ -133,7 +140,7 @@ func main() {
 		ran = true
 		fmt.Println("--- Parameter sweep (paper §5 remark) ---")
 		for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
-			rows, err := report.ParameterSweep(bench, ws[0], *workers)
+			rows, err := report.ParameterSweep(bench, ws[0], *workers, st)
 			if err != nil {
 				fatal(err)
 			}
@@ -144,7 +151,7 @@ func main() {
 		ran = true
 		fmt.Println("--- Design-choice ablations ---")
 		for _, bench := range []string{dfg.BenchEx, dfg.BenchDct, dfg.BenchDiffeq} {
-			rows, err := report.Ablations(bench, ws[0], *workers)
+			rows, err := report.Ablations(bench, ws[0], *workers, st)
 			if err != nil {
 				fatal(err)
 			}
@@ -163,6 +170,10 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if st != nil {
+		fmt.Println("--- Synthesis statistics ---")
+		fmt.Print(st.String())
 	}
 }
 

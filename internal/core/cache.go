@@ -1,0 +1,270 @@
+package core
+
+import (
+	"hash"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/dfg"
+	"repro/internal/etpn"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/testability"
+)
+
+// fp is a 128-bit canonical fingerprint. 128 bits keep the collision
+// probability negligible over the thousands of states a synthesis run
+// evaluates (a 64-bit key would already need ~2^32 entries for a
+// likely collision, but the cache trades a few bytes for not having to
+// reason about it at all).
+type fp [16]byte
+
+// hasher accumulates a canonical byte encoding into FNV-128a. FNV is
+// deterministic across processes (unlike maphash), so fingerprints are
+// stable run to run.
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{h: fnv.New128a()} }
+
+func (h *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.buf[i] = byte(v >> (8 * i))
+	}
+	h.h.Write(h.buf[:])
+}
+
+func (h *hasher) int(v int) { h.u64(uint64(int64(v))) }
+
+func (h *hasher) str(s string) {
+	h.int(len(s))
+	h.h.Write([]byte(s))
+}
+
+func (h *hasher) sum() fp {
+	var out fp
+	h.h.Sum(out[:0])
+	return out
+}
+
+// stateFingerprint canonically hashes the (schedule, allocation) pair
+// of a state. Everything the derived artifacts depend on — the ETPN
+// design, its execution time, floorplan area and testability metrics —
+// is a pure function of this pair (plus the per-run constants held by
+// the cache: the behaviour graph, bit width, library, loop signal and
+// bound, testability config), so two states with equal fingerprints
+// have bit-identical evaluations. Precedence arcs are deliberately
+// excluded: they constrain future rescheduling but leave the current
+// design untouched, so states reached through different arc histories
+// still share cache entries.
+func stateFingerprint(st *state) fp {
+	h := newHasher()
+	h.str("sched")
+	h.int(st.s.Len)
+	nn := st.g.NumNodes()
+	for i := 0; i < nn; i++ {
+		h.int(st.s.Step[dfg.NodeID(i)])
+	}
+	h.str("mods")
+	h.int(len(st.a.Modules))
+	for _, m := range st.a.Modules {
+		h.str(m.Class)
+		h.int(len(m.Ops))
+		for _, op := range m.Ops {
+			h.int(int(op))
+		}
+	}
+	h.str("regs")
+	h.int(len(st.a.Regs))
+	for _, r := range st.a.Regs {
+		h.int(len(r.Vals))
+		for _, v := range r.Vals {
+			h.int(int(v))
+		}
+	}
+	return h.sum()
+}
+
+// problemFingerprint canonically hashes a scheduling problem. The list
+// schedule is a pure function of (graph, Extra, ExtraWeak, ModuleOf,
+// MaxLen) — the graph is a per-run constant — so equal fingerprints
+// yield identical schedules. Arc slices are hashed in order: the
+// scheduler's observable output is insensitive to arc order, but
+// hashing the exact sequence keeps the equal-fingerprint ⇒ identical-
+// replay argument trivial at the cost of a few extra misses.
+func problemFingerprint(p *sched.Problem) fp {
+	h := newHasher()
+	h.int(p.MaxLen)
+	h.str("extra")
+	h.int(len(p.Extra))
+	for _, a := range p.Extra {
+		h.int(int(a[0]))
+		h.int(int(a[1]))
+	}
+	h.str("weak")
+	h.int(len(p.ExtraWeak))
+	for _, a := range p.ExtraWeak {
+		h.int(int(a[0]))
+		h.int(int(a[1]))
+	}
+	h.str("mod")
+	nn := p.G.NumNodes()
+	for i := 0; i < nn; i++ {
+		if m, ok := p.ModuleOf[dfg.NodeID(i)]; ok {
+			h.int(m)
+		} else {
+			h.int(-1)
+		}
+	}
+	return h.sum()
+}
+
+// buildEntry is a memoized state evaluation: the derived design and its
+// two cost figures. Designs are immutable after etpn.Build, so entries
+// are shared freely between states and across the tie-policy fan-out.
+type buildEntry struct {
+	d    *etpn.Design
+	exec int
+	area cost.Estimate
+}
+
+// schedEntry is a memoized list-scheduling outcome; infeasible problems
+// (latency bound exceeded, cyclic arcs) are cached as errors so the
+// fan-out pays for each infeasibility proof once.
+type schedEntry struct {
+	s   sched.Schedule
+	err error
+}
+
+// evalCache memoizes the expensive stages of the merger loop, keyed by
+// canonical fingerprints, so identical designs reached by different tie
+// policies or candidate orders are costed once. One cache is shared by
+// all four tie-policy explorations of a Synthesize call (the per-run
+// constants — graph, width, library, loop parameters, testability
+// config — are identical across them); a mutex makes it safe under the
+// fan-out. Cached values are pure functions of their keys, so a hit
+// returns bit-identical data to a recomputation and results never
+// depend on cache state, sharing, or worker count.
+type evalCache struct {
+	stats *stats.Stats
+
+	mu      sync.Mutex
+	scheds  map[fp]schedEntry
+	builds  map[fp]buildEntry
+	metrics map[fp]*testability.Metrics
+	execs   map[int]int // schedule length -> control steps
+}
+
+// newEvalCache returns the cache for one Synthesize call, or nil when
+// par disables caching; a nil *evalCache is inert at every call site.
+func newEvalCache(par Params) *evalCache {
+	if par.NoCache {
+		return nil
+	}
+	return &evalCache{
+		stats:   par.Stats,
+		scheds:  map[fp]schedEntry{},
+		builds:  map[fp]buildEntry{},
+		metrics: map[fp]*testability.Metrics{},
+		execs:   map[int]int{},
+	}
+}
+
+func (c *evalCache) enabled() bool { return c != nil }
+
+func (c *evalCache) lookupBuild(key fp) (buildEntry, bool) {
+	if c == nil {
+		return buildEntry{}, false
+	}
+	c.mu.Lock()
+	e, ok := c.builds[key]
+	c.mu.Unlock()
+	c.record("cache.build", ok)
+	return e, ok
+}
+
+func (c *evalCache) storeBuild(key fp, e buildEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.builds[key] = e
+	c.mu.Unlock()
+}
+
+func (c *evalCache) lookupSched(key fp) (schedEntry, bool) {
+	if c == nil {
+		return schedEntry{}, false
+	}
+	c.mu.Lock()
+	e, ok := c.scheds[key]
+	c.mu.Unlock()
+	c.record("cache.sched", ok)
+	return e, ok
+}
+
+func (c *evalCache) storeSched(key fp, e schedEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.scheds[key] = e
+	c.mu.Unlock()
+}
+
+func (c *evalCache) lookupMetrics(key fp) (*testability.Metrics, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	m, ok := c.metrics[key]
+	c.mu.Unlock()
+	c.record("cache.metrics", ok)
+	return m, ok
+}
+
+func (c *evalCache) storeMetrics(key fp, m *testability.Metrics) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.metrics[key] = m
+	c.mu.Unlock()
+}
+
+// lookupExec memoizes the Petri-net critical path by schedule length:
+// the control part is a chain (or guarded loop) over exactly Sched.Len
+// places, so within one run the execution time depends on nothing else.
+func (c *evalCache) lookupExec(schedLen int) (int, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	v, ok := c.execs[schedLen]
+	c.mu.Unlock()
+	c.record("cache.exec", ok)
+	return v, ok
+}
+
+func (c *evalCache) storeExec(schedLen, steps int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.execs[schedLen] = steps
+	c.mu.Unlock()
+}
+
+func (c *evalCache) record(prefix string, hit bool) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.stats.Add(prefix+".hit", 1)
+	} else {
+		c.stats.Add(prefix+".miss", 1)
+	}
+}

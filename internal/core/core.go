@@ -25,6 +25,7 @@ import (
 	"repro/internal/etpn"
 	"repro/internal/parallel"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/testability"
 )
 
@@ -105,6 +106,17 @@ type Params struct {
 	// value in its own register — the allocation visible in the paper's
 	// CAMAD table rows (R: a, R: b, ...).
 	ModulesOnly bool
+	// Stats, when non-nil, collects per-stage counters and timers
+	// (candidate evaluations, cache hits/misses, prunes, time spent in
+	// scheduling/floorplanning/testability/reachability). Purely
+	// observational: it never influences results.
+	Stats *stats.Stats
+	// NoCache disables the fingerprint-keyed evaluation cache and NoPrune
+	// disables the ΔC lower-bound pruning of candidates. Both exist for
+	// the cache-equivalence tests and benchmarks; results are identical
+	// either way.
+	NoCache bool
+	NoPrune bool
 }
 
 // DefaultParams returns the parameter set (k,α,β) = (3,2,1) the paper uses
@@ -158,12 +170,33 @@ type state struct {
 	par   Params
 	execT int
 	area  cost.Estimate
+	// cache memoizes expensive evaluations across the whole Synthesize
+	// call (nil disables it); fp is the canonical fingerprint of the
+	// current (schedule, allocation) pair, valid after build.
+	cache *evalCache
+	fp    fp
+	// e0 is the execution time of the initial ASAP state. Every schedule
+	// the merger can reach is at least as long as the ASAP schedule, and
+	// the control critical path grows with schedule length, so e0 is a
+	// certified floor on any successor's execution time — the ΔE half of
+	// the candidate-pruning bound.
+	e0 int
 }
 
 // build refreshes lifetimes, the ETPN design, execution time and area from
-// the current schedule and allocation.
+// the current schedule and allocation. With caching enabled, a state whose
+// (schedule, allocation) fingerprint was evaluated before — by any tie
+// policy — reuses the memoized design and costs; only successful builds
+// are cached, so a hit soundly skips allocation verification too.
 func (st *state) build() error {
 	st.life = alloc.Lifetimes(st.g, st.s)
+	if st.cache.enabled() {
+		st.fp = stateFingerprint(st)
+		if e, ok := st.cache.lookupBuild(st.fp); ok {
+			st.d, st.execT, st.area = e.d, e.exec, e.area
+			return nil
+		}
+	}
 	if err := st.a.Verify(st.g, st.s, st.par.class(), st.life); err != nil {
 		return err
 	}
@@ -172,13 +205,40 @@ func (st *state) build() error {
 		return err
 	}
 	st.d = d
-	et, err := d.ExecutionTime(st.par.LoopBound)
-	if err != nil {
-		return err
+	// The control part is a pure function of the schedule length (a chain,
+	// or a guarded loop, over Len places), so the Petri-net critical path
+	// is memoized per length rather than per design.
+	et, ok := st.cache.lookupExec(st.s.Len)
+	if !ok {
+		stop := st.par.Stats.Time("time.reach")
+		et, err = d.ExecutionTime(st.par.LoopBound)
+		stop()
+		if err != nil {
+			return err
+		}
+		st.cache.storeExec(st.s.Len, et)
 	}
 	st.execT = et
+	stop := st.par.Stats.Time("time.floorplan")
 	st.area = cost.EstimateDesign(d, st.par.lib(), st.par.Width)
+	stop()
+	st.cache.storeBuild(st.fp, buildEntry{d: st.d, exec: st.execT, area: st.area})
 	return nil
+}
+
+// analyze returns the testability metrics of the current design, memoized
+// by the state fingerprint: both register-merge orders of applyRegMerge
+// frequently produce identical designs, and the committed winner of one
+// iteration is re-analyzed at the top of the next — each repeat is a hit.
+func (st *state) analyze() *testability.Metrics {
+	if m, ok := st.cache.lookupMetrics(st.fp); ok {
+		return m
+	}
+	stop := st.par.Stats.Time("time.testability")
+	m := testability.Analyze(st.d, st.par.TCfg)
+	stop()
+	st.cache.storeMetrics(st.fp, m)
+	return m
 }
 
 func (st *state) clone() *state {
@@ -191,7 +251,9 @@ func (st *state) clone() *state {
 
 // initialState performs step 1 of Algorithm 1: a simple default
 // scheduling (ASAP) and allocation (one node per operation and value).
-func initialState(g *dfg.Graph, par Params) (*state, error) {
+// The cache, shared by every tie policy of one Synthesize call, may be
+// nil to disable memoization.
+func initialState(g *dfg.Graph, par Params, cache *evalCache) (*state, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -207,10 +269,11 @@ func initialState(g *dfg.Graph, par Params) (*state, error) {
 	for op, m := range a.ModuleOf {
 		prob.ModuleOf[op] = m
 	}
-	st := &state{g: g, prob: prob, s: s, a: a, par: par}
+	st := &state{g: g, prob: prob, s: s, a: a, par: par, cache: cache}
 	if err := st.build(); err != nil {
 		return nil, err
 	}
+	st.e0 = st.execT
 	return st, nil
 }
 
@@ -429,12 +492,17 @@ var tiePolicies = []tiePolicy{tieHighScore, tieLowScore, tieStrict, tieNoDepBonu
 // sequential reduction in tiePolicies order, making the result identical
 // at every worker count.
 func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
+	// One cache serves all four policies: they share the initial state and
+	// most early-iteration evaluations, so cross-policy hits are where the
+	// memoization pays most. Cached values are pure functions of their
+	// keys, keeping the result independent of sharing and worker count.
+	cache := newEvalCache(par)
 	if par.NoExplore {
-		return synthesizeOnce(g, par, tieHighScore)
+		return synthesizeOnce(g, par, tieHighScore, cache)
 	}
 	results := make([]*Result, len(tiePolicies))
 	if err := parallel.ForEach(par.Workers, len(tiePolicies), func(i int) error {
-		r, err := synthesizeOnce(g, par, tiePolicies[i])
+		r, err := synthesizeOnce(g, par, tiePolicies[i], cache)
 		if err != nil {
 			return err
 		}
@@ -472,8 +540,8 @@ func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
 	return best, nil
 }
 
-func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy) (*Result, error) {
-	st, err := initialState(g, par)
+func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy, cache *evalCache) (*Result, error) {
+	st, err := initialState(g, par, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +554,7 @@ func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy) (*Result, error) {
 		if iter > g.NumNodes()+g.NumValues()+8 {
 			return nil, fmt.Errorf("core: merger loop failed to terminate")
 		}
-		m := testability.Analyze(st.d, par.TCfg)
+		m := st.analyze()
 		modCands, regCands := st.rankCandidates(m, tp)
 		if len(modCands)+len(regCands) == 0 {
 			break
@@ -507,6 +575,21 @@ func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy) (*Result, error) {
 				block := slice(list, lo, k)
 				bestDC, bestScore := 0.0, 0.0
 				for _, c := range block {
+					// A candidate whose certified ΔC lower bound lies above
+					// the incumbent's tolerance band cannot be taken by any
+					// branch of the selection below, so the whole
+					// reschedule-and-rebuild evaluation is skipped. The
+					// bound needs both weights non-negative to be a lower
+					// bound on ΔC.
+					if best != nil && !par.NoPrune && par.Alpha >= 0 && par.Beta >= 0 {
+						lb := par.Alpha*float64(st.e0-st.execT) + par.Beta*st.deltaHLowerBound(c)
+						margin := 1e-6 * (absf(bestDC) + absf(lb) + 1)
+						if lb-margin > bestDC+tolFor(tp, bestDC) {
+							par.Stats.Add("core.prunes", 1)
+							continue
+						}
+					}
+					par.Stats.Add("core.evaluations", 1)
 					ns, dE, dH, err := st.applyCandidate(c, m)
 					if err != nil {
 						continue
@@ -514,10 +597,7 @@ func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy) (*Result, error) {
 					dC := par.Alpha*float64(dE) + par.Beta*dH
 					take := best == nil
 					if !take {
-						tol := 0.02 * (absf(bestDC) + 1)
-						if tp == tieStrict {
-							tol = 0
-						}
+						tol := tolFor(tp, bestDC)
 						switch {
 						case dC < bestDC-tol:
 							take = true
@@ -574,6 +654,33 @@ func absf(x float64) float64 {
 	return x
 }
 
+// tolFor is the near-tie tolerance band of the candidate selection: within
+// it the tie policy's score comparison decides instead of ΔC. tieStrict
+// admits no band.
+func tolFor(tp tiePolicy, bestDC float64) float64 {
+	if tp == tieStrict {
+		return 0
+	}
+	return 0.02 * (absf(bestDC) + 1)
+}
+
+// deltaHLowerBound returns a certified lower bound on the ΔH of merging
+// candidate c, computable without floorplanning: the library area of the
+// post-merge design drops by exactly one module (of the pair's class) or
+// one register, and the floorplan total is the library sum plus the
+// non-negative mux and wire terms, so
+//
+//	ΔH = newTotal − oldTotal ≥ newLibArea − oldTotal.
+func (st *state) deltaHLowerBound(c candidate) float64 {
+	modA, regA := st.area.ModuleArea, st.area.RegArea
+	if c.isModule {
+		modA -= st.par.lib().ModuleArea(st.a.Modules[c.i].Class, st.par.Width)
+	} else {
+		regA -= st.par.lib().RegisterArea(st.par.Width)
+	}
+	return modA + regA - st.area.Total
+}
+
 func (st *state) finish(method string, trace []string) (*Result, error) {
 	if err := st.build(); err != nil {
 		return nil, err
@@ -584,7 +691,7 @@ func (st *state) finish(method string, trace []string) (*Result, error) {
 		ExecTime: st.execT,
 		Area:     st.area,
 		Mux:      st.d.MuxStats(),
-		Metrics:  testability.Analyze(st.d, st.par.TCfg),
+		Metrics:  st.analyze(),
 		Trace:    trace,
 	}, nil
 }
@@ -646,17 +753,25 @@ func (st *state) applyModuleMerge(i, j int, m *testability.Metrics) (*state, int
 		append(append([]dfg.NodeID{}, seqI...), seqJ...),
 		append(append([]dfg.NodeID{}, seqJ...), seqI...),
 	}
-	seen := map[string]bool{}
+	return selectMergeOrder(candidates, apply)
+}
+
+// selectMergeOrder realizes the order preference of §4.3.1 over the
+// candidate serialization orders. Candidate 0 is the SR order: if
+// feasible it wins outright, by construction, regardless of how the
+// fallback orders would cost — only when it fails do the fallbacks
+// compete on (ΔE, ΔH). An order identical to one already tried is
+// skipped: it is the same scheduling problem and would replay the same
+// outcome.
+func selectMergeOrder(candidates [][]dfg.NodeID, apply func([]dfg.NodeID) (*state, int, float64, error)) (*state, int, float64, error) {
 	var bestNS *state
 	var bestE int
 	var bestH float64
 	var firstErr error
-	for _, order := range candidates {
-		key := fmt.Sprint(order)
-		if seen[key] {
+	for idx, order := range candidates {
+		if duplicateOrder(candidates[:idx], order) {
 			continue
 		}
-		seen[key] = true
 		ns, dE, dH, err := apply(order)
 		if err != nil {
 			if firstErr == nil {
@@ -664,18 +779,41 @@ func (st *state) applyModuleMerge(i, j int, m *testability.Metrics) (*state, int
 			}
 			continue
 		}
+		if idx == 0 {
+			// The SR order is feasible: prefer it outright (SR2).
+			return ns, dE, dH, nil
+		}
 		if bestNS == nil || dE < bestE || (dE == bestE && dH < bestH) {
 			bestNS, bestE, bestH = ns, dE, dH
-		}
-		if bestNS != nil && order != nil && key == fmt.Sprint(candidates[0]) {
-			// The SR order is feasible: prefer it outright (SR2).
-			break
 		}
 	}
 	if bestNS == nil {
 		return nil, 0, 0, firstErr
 	}
 	return bestNS, bestE, bestH, nil
+}
+
+// sameOrder reports whether two operation sequences are identical.
+func sameOrder(a, b []dfg.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// duplicateOrder reports whether order already appears among prior.
+func duplicateOrder(prior [][]dfg.NodeID, order []dfg.NodeID) bool {
+	for _, p := range prior {
+		if sameOrder(p, order) {
+			return true
+		}
+	}
+	return false
 }
 
 // preferSR is the controllability/observability enhancement strategy (SR1
@@ -758,8 +896,8 @@ func (st *state) applyRegMerge(i, j int, m *testability.Metrics) (*state, int, f
 	}
 	if st.par.Reschedule == RescheduleMergeSort {
 		// SR1: prefer the order with the shorter mean sequential depth.
-		d1 := meanRegSeqDepth(s1, st.par)
-		d2 := meanRegSeqDepth(s2, st.par)
+		d1 := meanRegSeqDepth(s1)
+		d2 := meanRegSeqDepth(s2)
 		if d2 < d1 {
 			return s2, e2, h2, nil
 		}
@@ -773,8 +911,12 @@ func (st *state) applyRegMerge(i, j int, m *testability.Metrics) (*state, int, f
 	return s1, e1, h1, nil
 }
 
-func meanRegSeqDepth(st *state, par Params) float64 {
-	m := testability.Analyze(st.d, par.TCfg)
+// meanRegSeqDepth routes through the state's memoized analysis: the two
+// serialization orders applyRegMerge compares frequently converge to the
+// same (schedule, allocation) pair, in which case the second order's
+// fixpoint is a cache hit rather than a full re-run.
+func meanRegSeqDepth(st *state) float64 {
+	m := st.analyze()
 	sum, n := 0.0, 0
 	for _, nd := range st.d.Nodes {
 		if nd.Kind == etpn.KindRegister {
@@ -892,7 +1034,7 @@ func (st *state) reschedule(ns *state) (*state, int, float64, error) {
 			return nil, 0, 0, err
 		}
 	} else {
-		s2, err = ns.prob.List(nil)
+		s2, err = ns.listSchedule()
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -902,4 +1044,36 @@ func (st *state) reschedule(ns *state) (*state, int, float64, error) {
 		return nil, 0, 0, err
 	}
 	return ns, ns.execT - st.execT, ns.area.Total - st.area.Total, nil
+}
+
+// listSchedule solves the list-scheduling problem of ns, memoized by the
+// problem fingerprint. Infeasibility is memoized too: different tie
+// policies and candidate orders pose the same augmented problems, and an
+// infeasibility proof is as expensive as a schedule. An infeasible result
+// only ever makes the merger's caller skip the candidate, so replaying the
+// cached error is equivalent to re-deriving it. Schedules are cloned on
+// both store and load because callers mutate the Step map.
+func (ns *state) listSchedule() (sched.Schedule, error) {
+	if !ns.cache.enabled() {
+		stop := ns.par.Stats.Time("time.sched")
+		s2, err := ns.prob.List(nil)
+		stop()
+		return s2, err
+	}
+	key := problemFingerprint(ns.prob)
+	if e, ok := ns.cache.lookupSched(key); ok {
+		if e.err != nil {
+			return sched.Schedule{}, e.err
+		}
+		return e.s.Clone(), nil
+	}
+	stop := ns.par.Stats.Time("time.sched")
+	s2, err := ns.prob.List(nil)
+	stop()
+	if err != nil {
+		ns.cache.storeSched(key, schedEntry{err: err})
+		return sched.Schedule{}, err
+	}
+	ns.cache.storeSched(key, schedEntry{s: s2.Clone()})
+	return s2, nil
 }

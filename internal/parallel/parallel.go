@@ -27,6 +27,24 @@ func Workers(n int) int {
 	return n
 }
 
+// Split divides one worker budget between an outer fan-out over n jobs
+// and the parallelism inside each job: outer workers run jobs
+// concurrently, and each job may use up to inner workers internally, with
+// outer*inner never exceeding Workers(workers). Nesting two parallel
+// layers without Split multiplies the two knobs into workers² goroutines;
+// with it, the outer fan-out takes priority (it has the coarser, better-
+// balanced work) and the inner budget is whatever the budget has left —
+// inner is 1 whenever the outer layer can already keep every worker busy.
+func Split(workers, n int) (outer, inner int) {
+	w := Workers(workers)
+	outer = w
+	if n >= 1 && outer > n {
+		outer = n
+	}
+	inner = w / outer
+	return outer, inner
+}
+
 // ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
 // (after Workers normalization) and returns the recorded error with the
 // smallest index, matching what a sequential loop would return. fn's

@@ -250,3 +250,33 @@ func TestPoolStress(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitBudgetInvariant(t *testing.T) {
+	for workers := -1; workers <= 20; workers++ {
+		for n := 0; n <= 20; n++ {
+			outer, inner := Split(workers, n)
+			w := Workers(workers)
+			if outer < 1 || inner < 1 {
+				t.Fatalf("Split(%d, %d) = (%d, %d): layers must be at least 1", workers, n, outer, inner)
+			}
+			if outer*inner > w {
+				t.Fatalf("Split(%d, %d) = (%d, %d): %d×%d exceeds the budget %d", workers, n, outer, inner, outer, inner, w)
+			}
+			if n >= 1 && outer > n {
+				t.Fatalf("Split(%d, %d) = (%d, %d): more outer workers than jobs", workers, n, outer, inner)
+			}
+			// Fewer jobs than budget: the leftover must flow inward.
+			if n >= 1 && n < w && inner < w/n {
+				t.Fatalf("Split(%d, %d) = (%d, %d): inner budget %d wastes the pool (want >= %d)", workers, n, outer, inner, inner, w/n)
+			}
+		}
+	}
+	// The documented headline case: a wide outer fan-out leaves inner = 1.
+	if outer, inner := Split(8, 100); outer != 8 || inner != 1 {
+		t.Errorf("Split(8, 100) = (%d, %d), want (8, 1)", outer, inner)
+	}
+	// And a narrow fan-out hands the budget to the inner layer.
+	if outer, inner := Split(8, 2); outer != 2 || inner != 4 {
+		t.Errorf("Split(8, 2) = (%d, %d), want (2, 4)", outer, inner)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/scan"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/testability"
 )
 
@@ -142,8 +143,11 @@ type SweepRow struct {
 // the final results". The grid points are independent synthesis runs, so
 // they fan out across up to `workers` goroutines (0 = one per CPU) with
 // rows collected in grid order; the output is identical at every worker
-// count.
-func ParameterSweep(bench string, width, workers int) ([]SweepRow, error) {
+// count. The worker budget is split between the grid fan-out and the
+// tie-policy exploration inside each synthesis — handing the full budget
+// to both layers would multiply them into workers² goroutines. st (may be
+// nil) collects per-stage synthesis statistics across all grid points.
+func ParameterSweep(bench string, width, workers int, st *stats.Stats) ([]SweepRow, error) {
 	g, err := dfg.ByName(bench, width)
 	if err != nil {
 		return nil, err
@@ -159,13 +163,15 @@ func ParameterSweep(bench string, width, workers int) ([]SweepRow, error) {
 		}
 	}
 	rows := make([]SweepRow, len(grid))
-	err = parallel.ForEach(workers, len(grid), func(i int) error {
+	outer, inner := parallel.Split(workers, len(grid))
+	err = parallel.ForEach(outer, len(grid), func(i int) error {
 		pt := grid[i]
 		par := core.DefaultParams(width)
 		par.K = pt.k
 		par.Alpha, par.Beta = pt.a, pt.b
 		par.LoopSignal = loopSignalFor(bench)
-		par.Workers = workers
+		par.Workers = inner
+		par.Stats = st
 		res, err := core.Synthesize(g, par)
 		if err != nil {
 			return err
@@ -213,8 +219,11 @@ type AblationRow struct {
 // balance-driven versus connectivity-driven pair selection, SR-guided
 // merge-sort versus naive append rescheduling, and integrated versus
 // phase-separated (frozen-schedule) synthesis. The variants fan out
-// across up to `workers` goroutines with rows collected in variant order.
-func Ablations(bench string, width, workers int) ([]AblationRow, error) {
+// across up to `workers` goroutines with rows collected in variant order;
+// the budget is split between the variant fan-out and the tie-policy
+// exploration inside each synthesis. st (may be nil) collects per-stage
+// synthesis statistics across all variants.
+func Ablations(bench string, width, workers int, st *stats.Stats) ([]AblationRow, error) {
 	g, err := dfg.ByName(bench, width)
 	if err != nil {
 		return nil, err
@@ -229,11 +238,13 @@ func Ablations(bench string, width, workers int) ([]AblationRow, error) {
 		{"frozen schedule (phase-separated)", func(p *core.Params) { p.Reschedule = core.RescheduleFrozen }},
 	}
 	rows := make([]AblationRow, len(variants))
-	err = parallel.ForEach(workers, len(variants), func(i int) error {
+	outer, inner := parallel.Split(workers, len(variants))
+	err = parallel.ForEach(outer, len(variants), func(i int) error {
 		v := variants[i]
 		par := core.DefaultParams(width)
 		par.LoopSignal = loopSignalFor(bench)
-		par.Workers = workers
+		par.Workers = inner
+		par.Stats = st
 		v.mod(&par)
 		res, err := core.Synthesize(g, par)
 		if err != nil {

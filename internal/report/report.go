@@ -13,12 +13,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/parallel"
 	"repro/internal/rtl"
+	"repro/internal/stats"
 )
 
 // Cell is one (method, width) measurement of a table.
@@ -60,13 +61,18 @@ type Config struct {
 	ParamsFor func(width int) core.Params
 	// ATPGFor returns the campaign configuration per width.
 	ATPGFor func(width int) atpg.Config
-	// Parallel bounds concurrent cells (1 = sequential).
-	Parallel int
-	// Workers is threaded into core.Params.Workers and atpg.Config.Workers
-	// of every cell: the goroutine budget inside one synthesis or campaign
-	// (0 = one per CPU, 1 = sequential). Results are identical at every
-	// worker count.
+	// Workers is the total goroutine budget of the run: it bounds the
+	// goroutines inside one synthesis or campaign (0 = one per CPU,
+	// 1 = sequential) via core.Params.Workers and atpg.Config.Workers.
+	// Results are identical at every worker count.
 	Workers int
+	// Parallel bounds concurrent cells (1 = sequential). When several
+	// cells run concurrently, the Workers budget is divided among them
+	// rather than granted to each in full — see RunTable.
+	Parallel int
+	// Stats, when non-nil, collects per-stage synthesis counters and
+	// timers across every cell. Purely observational.
+	Stats *stats.Stats
 }
 
 // DefaultConfig returns the configuration reproducing the paper's setup.
@@ -126,32 +132,36 @@ func RunTable(bench string, cfg Config) (*Table, error) {
 		}
 	}
 	cells := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
-	par := cfg.Parallel
-	if par < 1 {
-		par = 1
+	// Parallel bounds the cell fan-out; the Workers budget is divided
+	// among the concurrent cells. Granting every cell the full budget —
+	// as this loop once did — multiplies the two knobs into up to
+	// Parallel×Workers goroutines.
+	outer := cfg.Parallel
+	if outer < 1 {
+		outer = 1
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for idx, j := range jobs {
-		wg.Add(1)
-		go func(idx int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cell, err := RunCell(bench, j.method, j.width, cfg)
-			if err != nil {
-				errs[idx] = err
-				return
-			}
-			cells[idx] = *cell
-		}(idx, j)
+	if outer > len(jobs) {
+		outer = len(jobs)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	inner := cfg.Workers
+	if outer > 1 {
+		inner = parallel.Workers(cfg.Workers) / outer
+		if inner < 1 {
+			inner = 1
 		}
+	}
+	cellCfg := cfg
+	cellCfg.Workers = inner
+	err := parallel.ForEach(outer, len(jobs), func(idx int) error {
+		cell, err := RunCell(bench, jobs[idx].method, jobs[idx].width, cellCfg)
+		if err != nil {
+			return err
+		}
+		cells[idx] = *cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tbl.Cells = cells
 	return tbl, nil
@@ -167,6 +177,7 @@ func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
 	par.Width = width
 	par.LoopSignal = loopSignalFor(bench)
 	par.Workers = cfg.Workers
+	par.Stats = cfg.Stats
 	res, err := core.Run(method, g, par)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%d: %w", bench, method, width, err)

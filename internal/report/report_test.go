@@ -93,7 +93,7 @@ func TestScheduleFigures(t *testing.T) {
 }
 
 func TestParameterSweepStable(t *testing.T) {
-	rows, err := ParameterSweep(dfg.BenchEx, 4, 2)
+	rows, err := ParameterSweep(dfg.BenchEx, 4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestParameterSweepStable(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	rows, err := Ablations(dfg.BenchEx, 4, 2)
+	rows, err := Ablations(dfg.BenchEx, 4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -111,9 +111,18 @@ func (p *Problem) distributionCost(latency int, class ClassFunc, asap, alap map[
 			row[s] += pr
 		}
 	}
+	// Sum classes in sorted order: float addition is not associative, so
+	// iterating the map directly would let Go's randomized map order
+	// perturb the cost in its last ulp and flip near-tie comparisons in
+	// FDS from run to run.
+	classes := make([]string, 0, len(dg))
+	for c := range dg {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
 	cost := 0.0
-	for _, row := range dg {
-		for _, v := range row {
+	for _, c := range classes {
+		for _, v := range dg[c] {
 			cost += v * v
 		}
 	}

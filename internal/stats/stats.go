@@ -1,0 +1,155 @@
+// Package stats is the per-stage observability layer of the synthesis
+// system: a small, concurrency-safe registry of named counters and
+// timers that the hot paths report into — candidate evaluations, cache
+// hits and misses, prunes, and the wall-clock time spent in list
+// scheduling, floorplanning, testability analysis and Petri-net
+// reachability. A nil *Stats is a valid no-op collector, so call sites
+// record unconditionally and pay one nil check when observability is
+// off.
+//
+// Counters and timers never influence results: they are written behind
+// a mutex, read only by reporting code, and carry no algorithmic state.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stats is a set of named counters and timers. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use
+// and are no-ops on a nil receiver.
+type Stats struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	timers   map[string]time.Duration
+}
+
+// New returns an empty collector.
+func New() *Stats {
+	return &Stats{counters: map[string]int64{}, timers: map[string]time.Duration{}}
+}
+
+// Add increments the named counter by delta.
+func (s *Stats) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Time starts a timer and returns the function that stops it, adding
+// the elapsed wall-clock time to the named timer:
+//
+//	defer s.Time("time.floorplan")()
+func (s *Stats) Time(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		s.mu.Lock()
+		s.timers[name] += d
+		s.mu.Unlock()
+	}
+}
+
+// Value returns the current value of a counter (0 if never written).
+func (s *Stats) Value(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Duration returns the accumulated time of a timer (0 if never written).
+func (s *Stats) Duration(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timers[name]
+}
+
+// Counters returns a snapshot of every counter.
+func (s *Stats) Counters() map[string]int64 {
+	out := map[string]int64{}
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// HitRate returns hits/(hits+misses) for the cache counter pair
+// "<prefix>.hit" / "<prefix>.miss", or 0 when the cache was never
+// consulted.
+func (s *Stats) HitRate(prefix string) float64 {
+	hits := s.Value(prefix + ".hit")
+	misses := s.Value(prefix + ".miss")
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// String renders every counter and timer, sorted by name, followed by
+// the hit rate of every "*.hit"/"*.miss" counter pair.
+func (s *Stats) String() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	type kv struct {
+		k string
+		c int64
+		d time.Duration
+	}
+	var counters, timers []kv
+	for k, v := range s.counters {
+		counters = append(counters, kv{k: k, c: v})
+	}
+	for k, v := range s.timers {
+		timers = append(timers, kv{k: k, d: v})
+	}
+	s.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].k < counters[j].k })
+	sort.Slice(timers, func(i, j int) bool { return timers[i].k < timers[j].k })
+
+	var b strings.Builder
+	for _, e := range counters {
+		fmt.Fprintf(&b, "%-28s %12d\n", e.k, e.c)
+	}
+	for _, e := range timers {
+		fmt.Fprintf(&b, "%-28s %12s\n", e.k, e.d)
+	}
+	// Hit rates for every .hit/.miss pair.
+	seen := map[string]bool{}
+	var prefixes []string
+	for _, e := range counters {
+		for _, suffix := range []string{".hit", ".miss"} {
+			if p, ok := strings.CutSuffix(e.k, suffix); ok && !seen[p] {
+				seen[p] = true
+				prefixes = append(prefixes, p)
+			}
+		}
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		fmt.Fprintf(&b, "%-28s %11.1f%%\n", p+".hitrate", 100*s.HitRate(p))
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndTimers(t *testing.T) {
+	s := New()
+	s.Add("cache.build.hit", 3)
+	s.Add("cache.build.miss", 1)
+	s.Add("cache.build.hit", 1)
+	if got := s.Value("cache.build.hit"); got != 4 {
+		t.Errorf("hit = %d, want 4", got)
+	}
+	if got := s.Value("never.written"); got != 0 {
+		t.Errorf("unwritten counter = %d, want 0", got)
+	}
+	if r := s.HitRate("cache.build"); r != 0.8 {
+		t.Errorf("hit rate = %f, want 0.8", r)
+	}
+	if r := s.HitRate("cache.sched"); r != 0 {
+		t.Errorf("unconsulted hit rate = %f, want 0", r)
+	}
+	stop := s.Time("time.x")
+	time.Sleep(time.Millisecond)
+	stop()
+	if s.Duration("time.x") <= 0 {
+		t.Error("timer recorded nothing")
+	}
+	out := s.String()
+	for _, want := range []string{"cache.build.hit", "cache.build.miss", "time.x", "cache.build.hitrate", "80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A nil collector must be inert: every method callable, zero values out.
+func TestNilStats(t *testing.T) {
+	var s *Stats
+	s.Add("x", 1)
+	s.Time("y")()
+	if s.Value("x") != 0 || s.Duration("y") != 0 || s.HitRate("z") != 0 || s.String() != "" {
+		t.Error("nil Stats not inert")
+	}
+	if got := s.Counters(); len(got) != 0 {
+		t.Errorf("nil Counters() = %v", got)
+	}
+}
+
+// The collector is shared by the tie-policy fan-out and the experiment
+// harness: concurrent writers must not lose increments (run with -race).
+func TestConcurrentAdd(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add("n", 1)
+				s.Time("t")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Value("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}

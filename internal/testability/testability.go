@@ -16,6 +16,7 @@ package testability
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/dfg"
@@ -239,7 +240,18 @@ func (m *Metrics) nodeCtrlIn(d *etpn.Design, nd *etpn.Node) (float64, float64, b
 		f := m.cfg.factors(nd.Class)
 		cc := f.CTF
 		sc := 0.0
-		for _, p := range ports {
+		// Multiply ports in sorted order: float multiplication is not
+		// associative under rounding, so ranging over the map directly
+		// would let Go's randomized map order perturb cc in its last ulp
+		// and make the fixpoint (and everything ranked by it) vary from
+		// run to run.
+		ids := make([]int, 0, len(ports))
+		for id := range ports {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			p := ports[id]
 			cc *= p[0]
 			if p[1] > sc {
 				sc = p[1]

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkSynthesize/ex/w4/cache=on-4         	     100	    123456 ns/op	        59.20 build-hit%
+BenchmarkSynthesize/ex/w4/cache=off-4        	      50	    234567 ns/op
+PASS
+ok  	repro	1.234s
+`
+	results, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	on := results[0]
+	if on.Name != "BenchmarkSynthesize/ex/w4/cache=on-4" || on.Iterations != 100 {
+		t.Errorf("first result: %+v", on)
+	}
+	if on.Metrics["ns/op"] != 123456 || on.Metrics["build-hit%"] != 59.20 {
+		t.Errorf("metrics: %v", on.Metrics)
+	}
+	if off := results[1]; off.Metrics["ns/op"] != 234567 || len(off.Metrics) != 1 {
+		t.Errorf("second result metrics: %v", off.Metrics)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX-4 10 oops ns/op\n")); err == nil {
+		t.Fatal("malformed value not rejected")
+	}
+}
