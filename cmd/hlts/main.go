@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,8 +43,16 @@ func main() {
 		etpnOut = flag.Bool("etpn", false, "print the synthesized ETPN data path")
 		tstab   = flag.Bool("testability", false, "print the per-node testability analysis")
 		stFlg   = flag.Bool("stats", false, "print synthesis cache/stage statistics after the run")
+		timeout = flag.Duration("timeout", 0, "overall budget; when it expires, synthesis and ATPG return their best-so-far results marked partial (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := loadGraph(*bench, *vhdl, *width)
 	if err != nil {
@@ -68,13 +77,17 @@ func main() {
 		par.LoopSignal = "exit"
 	}
 
-	res, err := hlts.RunMethod(*method, g, par)
+	res, err := hlts.RunMethodCtx(ctx, *method, g, par)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("behaviour %s: %d operations, %d values\n", g.Name, g.NumNodes(), g.NumValues())
-	fmt.Printf("method %s, width %d, (k,alpha,beta) = (%d,%g,%g), slack %d\n\n",
+	fmt.Printf("method %s, width %d, (k,alpha,beta) = (%d,%g,%g), slack %d\n",
 		res.Method, *width, *k, *alpha, *beta, *slack)
+	if res.Status == hlts.StatusPartial {
+		fmt.Printf("NOTE: partial result — %s budget exhausted; figures below are best-so-far\n", res.Exhausted)
+	}
+	fmt.Println()
 	fmt.Println("schedule:")
 	fmt.Print(res.Design.Sched.String(g))
 	fmt.Println("\nallocation:")
@@ -122,7 +135,7 @@ func main() {
 		cfg := hlts.DefaultATPGConfig(*seed)
 		cfg.SampleFaults = *faults
 		cfg.Workers = *workers
-		ares, err := hlts.TestDesign(n, cfg)
+		ares, err := hlts.TestDesignCtx(ctx, n, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,8 +46,17 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines inside each synthesis/campaign (1 = sequential; results are identical at any count)")
 		markdown = flag.Bool("markdown", false, "emit tables as markdown")
 		statsFlg = flag.Bool("stats", false, "print synthesis cache/stage statistics after the run")
+		timeout  = flag.Duration("timeout", 0, "overall budget; when it expires, in-flight cells finish with their best-so-far figures, marked *partial in the table (0 = no limit)")
+		resume   = flag.String("resume", "", "checkpoint journal path: completed cells are recorded there and skipped when the same sweep is rerun (a killed run resumes where it stopped)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var st *stats.Stats
 	if *statsFlg {
@@ -65,6 +75,17 @@ func main() {
 		ws = append(ws, w)
 	}
 	cfg.Widths = ws
+	if *resume != "" {
+		j, err := report.OpenJournal(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		if j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "hltsbench: resuming from %s (%d cells already done)\n", *resume, j.Len())
+		}
+		cfg.Journal = j
+	}
 	baseATPG := cfg.ATPGFor
 	cfg.ATPGFor = func(width int) atpg.Config {
 		c := baseATPG(width)
@@ -78,7 +99,7 @@ func main() {
 	if *benchFlg != "" {
 		ran = true
 		fmt.Printf("--- Supplementary table (%s) ---\n", *benchFlg)
-		tbl, err := report.RunTable(*benchFlg, cfg)
+		tbl, err := report.RunTableCtx(ctx, *benchFlg, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +117,7 @@ func main() {
 			ran = true
 			bench := tableBench[n]
 			fmt.Printf("--- Table %d (%s) ---\n", n, bench)
-			tbl, err := report.RunTable(bench, cfg)
+			tbl, err := report.RunTableCtx(ctx, bench, cfg)
 			if err != nil {
 				fatal(err)
 			}

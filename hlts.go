@@ -28,9 +28,12 @@
 package hlts
 
 import (
+	"context"
+
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/exec"
 	"repro/internal/hdl"
 	"repro/internal/report"
 	"repro/internal/rtl"
@@ -55,6 +58,22 @@ type (
 	Table = report.Table
 	// ExperimentConfig tunes table reproduction.
 	ExperimentConfig = report.Config
+	// Status reports whether a result is complete or a best-so-far
+	// produced under an exhausted budget (deadline, backtrack or frame
+	// limit, or an isolated worker panic).
+	Status = exec.Status
+	// ExecError is a worker panic recovered at a library boundary.
+	ExecError = exec.ExecError
+	// Checkpoint is the journal behind resumable experiment sweeps: every
+	// completed table cell is appended to a JSON-lines file, and a config
+	// carrying the journal skips cells already recorded.
+	Checkpoint = report.Journal
+)
+
+// Result statuses.
+const (
+	StatusComplete = exec.StatusComplete
+	StatusPartial  = exec.StatusPartial
 )
 
 // Synthesis method names (the rows of the paper's tables).
@@ -92,9 +111,23 @@ func DefaultParams(width int) Params { return core.DefaultParams(width) }
 // Synthesize runs the paper's integrated test synthesis (Algorithm 1).
 func Synthesize(g *Graph, p Params) (*Result, error) { return core.Synthesize(g, p) }
 
+// SynthesizeCtx is Synthesize under a context: when the context is
+// cancelled or its deadline passes, the merger loop stops at the next
+// iteration boundary and the best design found so far is returned with
+// Status == StatusPartial instead of an error.
+func SynthesizeCtx(ctx context.Context, g *Graph, p Params) (*Result, error) {
+	return core.SynthesizeCtx(ctx, g, p)
+}
+
 // RunMethod runs the named synthesis flow: MethodOurs or one of the
 // paper's three baselines.
 func RunMethod(method string, g *Graph, p Params) (*Result, error) { return core.Run(method, g, p) }
+
+// RunMethodCtx is RunMethod under a context, with the same graceful
+// degradation as SynthesizeCtx for the iterative flows.
+func RunMethodCtx(ctx context.Context, method string, g *Graph, p Params) (*Result, error) {
+	return core.RunCtx(ctx, method, g, p)
+}
 
 // Methods lists the four synthesis flows in the paper's table order.
 func Methods() []string { return core.Methods() }
@@ -160,10 +193,17 @@ func DefaultATPGConfig(seed int64) ATPGConfig { return atpg.DefaultConfig(seed) 
 // test-generation effort and test-application cycles — the three
 // testability columns of the paper's tables.
 func TestDesign(n *Netlist, cfg ATPGConfig) (*ATPGResult, error) {
+	return TestDesignCtx(context.Background(), n, cfg)
+}
+
+// TestDesignCtx is TestDesign under a context: on cancellation or
+// deadline the campaign returns its best-so-far coverage with
+// Status == StatusPartial, unresolved faults counted as skipped.
+func TestDesignCtx(ctx context.Context, n *Netlist, cfg ATPGConfig) (*ATPGResult, error) {
 	if cfg.MaxFrames < 2*(n.Steps+1) {
 		cfg.MaxFrames = 2 * (n.Steps + 1)
 	}
-	return atpg.Run(n.C, cfg)
+	return atpg.RunCtx(ctx, n.C, cfg)
 }
 
 // DefaultExperimentConfig returns the experiment configuration
@@ -176,3 +216,16 @@ func DefaultExperimentConfig(seed int64) ExperimentConfig { return report.Defaul
 func ReproduceTable(bench string, cfg ExperimentConfig) (*Table, error) {
 	return report.RunTable(bench, cfg)
 }
+
+// ReproduceTableCtx is ReproduceTable under a context: cells cut short by
+// the deadline carry their best-so-far figures and a partial marker in
+// the rendered table.
+func ReproduceTableCtx(ctx context.Context, bench string, cfg ExperimentConfig) (*Table, error) {
+	return report.RunTableCtx(ctx, bench, cfg)
+}
+
+// OpenCheckpoint opens (creating if needed) a sweep checkpoint journal.
+// Assign it to ExperimentConfig.Journal to make a table run resumable:
+// completed cells are recorded as they finish and skipped on the next
+// run. See cmd/hltsbench's -resume flag.
+func OpenCheckpoint(path string) (*Checkpoint, error) { return report.OpenJournal(path) }

@@ -474,3 +474,44 @@ func TestTestSetReplayReproducesCoverage(t *testing.T) {
 		t.Errorf("replay detected %d faults, campaign claimed %d", got, res.Detected())
 	}
 }
+
+// Budget exhaustion must never masquerade as a testability proof: a
+// fault abandoned because MaxFrames or BacktrackLimit ran out is
+// FrameLimited/BacktrackLimited, and only a combinational tree
+// exhaustion may claim OutcomeUntestable. (The constructions behind
+// these assertions live in hardening_test.go.)
+func TestBudgetExhaustionIsNotUntestable(t *testing.T) {
+	// Sequential circuit, frame window too narrow to reach the fault:
+	// the search runs out of frames, which proves nothing.
+	seq := pipelineCircuit(t)
+	cfg := DefaultConfig(5)
+	cfg.RandomBatches = 0
+	cfg.MaxFrames = 1
+	res, err := Run(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Untestable != 0 {
+		t.Errorf("frame-starved sequential campaign claims %d untestable faults", res.Untestable)
+	}
+	for i, o := range res.Outcomes {
+		if o == OutcomeUntestable {
+			t.Errorf("fault %d: outcome Untestable under an exhausted frame budget", i)
+		}
+	}
+	// Combinational circuit with a genuinely redundant fault: tree
+	// exhaustion there is a proof and must be reported as such.
+	comb := redundantCircuit(t)
+	ccfg := DefaultConfig(5)
+	ccfg.RandomBatches = 0
+	cres, err := Run(comb, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Untestable == 0 {
+		t.Error("redundant combinational circuit yields no untestable faults")
+	}
+	if cres.FrameLimited != 0 {
+		t.Errorf("combinational campaign reports %d frame-limited faults", cres.FrameLimited)
+	}
+}

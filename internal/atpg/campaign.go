@@ -1,12 +1,15 @@
 package atpg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"math/rand"
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/gates"
 	"repro/internal/logicsim"
@@ -39,6 +42,18 @@ type Config struct {
 	// result is bit-identical at every worker count: per-fault work is
 	// speculated in parallel but committed in fault-index order.
 	Workers int
+
+	// testHookAfterRandom, when set (package tests only), runs after the
+	// random phase commits and before the deterministic phase starts. It
+	// gives tests a deterministic cancellation point: cancelling the
+	// campaign context here yields a Partial result with exactly the
+	// random-phase coverage, with no wall-clock flakiness.
+	testHookAfterRandom func()
+	// testHookSearch, when set (package tests only), runs at the start of
+	// each fault's deterministic search, on the worker goroutine and under
+	// the per-fault panic guard; panicking from it simulates a PODEM crash
+	// for the panic-isolation tests.
+	testHookSearch func(faultIndex int)
 }
 
 // DefaultConfig returns the campaign settings used by the experiment
@@ -55,14 +70,101 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Result reports a completed campaign — the three quantities of the
-// paper's Tables 1-3 plus diagnostics.
+// Outcome classifies how the campaign resolved one sampled fault. The
+// enum deliberately separates the two proofs (detected, untestable) from
+// the three budget exhaustions (frames, backtracks, deadline): a budget
+// running out says nothing about the fault's testability, and conflating
+// the two inflates untestability claims (the clamped-MaxFrames campaigns
+// of TestMaxFramesClampRegression used to report every deep sequential
+// fault as "untestable").
+type Outcome uint8
+
+const (
+	// OutcomeNone: the fault was never resolved (internal zero value; all
+	// remaining None outcomes become OutcomeSkipped when a campaign ends
+	// early).
+	OutcomeNone Outcome = iota
+	// OutcomeDetectedRandom: detected during the random phase.
+	OutcomeDetectedRandom
+	// OutcomeDetectedPodem: PODEM generated a test for this fault.
+	OutcomeDetectedPodem
+	// OutcomeDetectedDrop: detected by fault-simulating a test generated
+	// for a different fault (test-set reuse).
+	OutcomeDetectedDrop
+	// OutcomeUntestable: proven untestable — the PODEM decision tree was
+	// exhausted on a combinational circuit, where exhaustion of one frame
+	// is a complete proof.
+	OutcomeUntestable
+	// OutcomeFrameLimited: the decision tree was exhausted at the capped
+	// time-frame window of a sequential circuit. The frame budget ran out;
+	// a longer window might still find a test. Not a proof.
+	OutcomeFrameLimited
+	// OutcomeBacktrackLimited: the backtrack budget ran out at every frame
+	// window and restart. Testability unknown.
+	OutcomeBacktrackLimited
+	// OutcomeSkipped: the deadline expired before this fault's search
+	// committed.
+	OutcomeSkipped
+	// OutcomePanicked: the fault's search panicked and was isolated; the
+	// recovered *exec.ExecError is in Result.Errors.
+	OutcomePanicked
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNone:
+		return "none"
+	case OutcomeDetectedRandom:
+		return "detected-random"
+	case OutcomeDetectedPodem:
+		return "detected-podem"
+	case OutcomeDetectedDrop:
+		return "detected-drop"
+	case OutcomeUntestable:
+		return "untestable"
+	case OutcomeFrameLimited:
+		return "frame-limited"
+	case OutcomeBacktrackLimited:
+		return "backtrack-limited"
+	case OutcomeSkipped:
+		return "skipped"
+	case OutcomePanicked:
+		return "panicked"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Detected reports whether the outcome is one of the detection proofs.
+func (o Outcome) Detected() bool {
+	return o == OutcomeDetectedRandom || o == OutcomeDetectedPodem || o == OutcomeDetectedDrop
+}
+
+// Result reports a campaign — the three quantities of the paper's
+// Tables 1-3 plus diagnostics. A Result is valid even when Status is
+// StatusPartial: every counter reflects work that genuinely happened
+// before the budget ran out.
 type Result struct {
 	TotalFaults    int
 	RandomDetected int
 	DetDetected    int
-	Untestable     int // proven untestable within MaxFrames
+	Untestable     int // proven untestable (combinational tree exhaustion)
+	FrameLimited   int // tree exhausted at the capped frame window (sequential)
 	Aborted        int // backtrack limit hit
+	Skipped        int // deadline expired before the fault was searched
+
+	// Status is StatusComplete for a full campaign, StatusPartial when a
+	// budget (Exhausted names it) ran out mid-run.
+	Status exec.Status
+	// Exhausted names the budget that cut the campaign short ("" when
+	// complete): exec.BudgetDeadline or exec.BudgetPanic.
+	Exhausted string
+	// Errors holds the recovered panics of isolated per-fault searches
+	// (OutcomePanicked faults), in fault-commit order.
+	Errors []*exec.ExecError
+	// Outcomes records the per-fault resolution, indexed like the sampled
+	// collapsed fault list.
+	Outcomes []Outcome
 
 	// Coverage is detected/total over the (sampled) collapsed fault list.
 	Coverage float64
@@ -100,8 +202,12 @@ func (r *Result) Detected() int { return r.RandomDetected + r.DetDetected }
 
 // String renders the headline numbers.
 func (r *Result) String() string {
-	return fmt.Sprintf("coverage %.2f%% (%d/%d faults; %d random + %d deterministic), effort %d kEval, %d test cycles",
+	s := fmt.Sprintf("coverage %.2f%% (%d/%d faults; %d random + %d deterministic), effort %d kEval, %d test cycles",
 		100*r.Coverage, r.Detected(), r.TotalFaults, r.RandomDetected, r.DetDetected, r.Effort, r.TestCycles)
+	if r.Status == exec.StatusPartial {
+		s += fmt.Sprintf(" [partial: %s exhausted, %d skipped]", r.Exhausted, r.Skipped)
+	}
+	return s
 }
 
 // Run executes a full campaign on the circuit: fault collapsing and
@@ -112,6 +218,17 @@ func (r *Result) String() string {
 // of Result — including Effort and the fault-dropping cascade — is
 // byte-identical to a sequential (Workers: 1) run.
 func Run(c *gates.Circuit, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), c, cfg)
+}
+
+// RunCtx is Run under a context. Cancellation degrades gracefully rather
+// than erroring: the campaign stops at the next phase or fault boundary
+// and returns its best-so-far Result tagged StatusPartial, with the
+// unsearched faults counted as Skipped. The cancellation points are the
+// start of each random batch, each fault's produce/commit in the
+// deterministic phase, and each PODEM restart. The nil error on a partial
+// result is deliberate — a deadline is a budget, not a failure.
+func RunCtx(ctx context.Context, c *gates.Circuit, cfg Config) (*Result, error) {
 	if cfg.MaxFrames < 1 {
 		// A frame window below 1 is meaningless; clamping here keeps
 		// frameEscalation from widening the window past the configured cap.
@@ -123,13 +240,22 @@ func Run(c *gates.Circuit, cfg Config) (*Result, error) {
 		return res, nil
 	}
 	detected := make([]bool, len(flist))
+	res.Outcomes = make([]Outcome, len(flist))
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	exhausted := "" // first budget that cut the campaign short
 
 	// Random phase: batches of 64 parallel sequences. For the compacted
 	// test-set length, each newly detected fault nominates the first lane
 	// that exposes it; the kept sequences are the union of nominated lanes.
+	// Batches are atomic with respect to cancellation: a batch either runs
+	// to completion or (when the context dies first) is not started, so a
+	// partial result never holds detections without their retained tests.
 	var randGateEvals int64
 	for batch := 0; batch < cfg.RandomBatches; batch++ {
+		if ctx.Err() != nil {
+			exhausted = exec.BudgetDeadline
+			break
+		}
 		vectors := make([][]uint64, cfg.SeqLen)
 		for t := range vectors {
 			v := make([]uint64, len(c.Inputs))
@@ -150,10 +276,14 @@ func Run(c *gates.Circuit, cfg Config) (*Result, error) {
 			}
 		}
 	}
-	for _, d := range detected {
+	for i, d := range detected {
 		if d {
 			res.RandomDetected++
+			res.Outcomes[i] = OutcomeDetectedRandom
 		}
+	}
+	if cfg.testHookAfterRandom != nil {
+		cfg.testHookAfterRandom()
 	}
 
 	// Deterministic phase: per fault, escalate the time-frame window; at
@@ -169,63 +299,119 @@ func Run(c *gates.Circuit, cfg Config) (*Result, error) {
 	// commit dropped are discarded (their search, including its
 	// implication count, never happened in the sequential schedule), which
 	// keeps Effort and the fault-dropping cascade byte-identical.
-	frameSchedule := frameEscalation(cfg.MaxFrames)
-	var undet []int
-	for i := range flist {
-		if !detected[i] {
-			undet = append(undet, i)
+	//
+	// A panic inside one fault's search is isolated: it becomes an
+	// OutcomePanicked entry plus a recorded *exec.ExecError, and every
+	// other fault is still processed.
+	var detImpl int64
+	if exhausted == "" {
+		comb := len(c.DFFs) == 0
+		frameSchedule := frameEscalation(cfg.MaxFrames)
+		var undet []int
+		for i := range flist {
+			if !detected[i] {
+				undet = append(undet, i)
+			}
+		}
+		dropped := make([]atomic.Bool, len(flist))
+		err := parallel.OrderedCtx(ctx, cfg.Workers, len(undet),
+			func(j int) (detOutcome, error) {
+				i := undet[j]
+				if dropped[i].Load() {
+					// Already dropped by a committed test: the commit side will
+					// discard this placeholder. Errors are carried inside the
+					// outcome so a speculative search on a dropped fault can
+					// never surface one the sequential run would not have seen.
+					return detOutcome{}, nil
+				}
+				o, perr := exec.Guard1("atpg.podem", i, func() (detOutcome, error) {
+					return searchFault(ctx, c, flist[i], i, cfg, frameSchedule, comb), nil
+				})
+				if perr != nil {
+					if ee, ok := exec.AsExecError(perr); ok {
+						return detOutcome{panicked: ee}, nil
+					}
+					return detOutcome{err: perr}, nil
+				}
+				return o, nil
+			},
+			func(j int, o detOutcome) error {
+				i := undet[j]
+				if detected[i] {
+					return nil // dropped by an earlier committed test
+				}
+				if o.err != nil {
+					return o.err
+				}
+				if o.panicked != nil {
+					res.Errors = append(res.Errors, o.panicked)
+					res.Outcomes[i] = OutcomePanicked
+					return nil
+				}
+				if o.cut {
+					res.Outcomes[i] = OutcomeSkipped
+					res.Skipped++
+					return nil
+				}
+				detImpl += o.impl
+				switch {
+				case o.success:
+					detected[i] = true
+					res.DetDetected++
+					res.Outcomes[i] = OutcomeDetectedPodem
+					res.TestCycles += o.frames
+					// Fault-simulate the generated test against the remaining
+					// faults (test-set reuse / fault dropping).
+					res.TestSet = append(res.TestSet, extractLane(o.vec, 0))
+					newly, err := logicsim.FaultSimIncrementalWorkers(c, flist, detected, nil, o.vec, 0, cfg.Workers)
+					if err != nil {
+						return err
+					}
+					res.DetDetected += newly
+					for k := range flist {
+						if detected[k] && !dropped[k].Load() {
+							dropped[k].Store(true)
+							if res.Outcomes[k] == OutcomeNone {
+								res.Outcomes[k] = OutcomeDetectedDrop
+							}
+						}
+					}
+				case o.untestable:
+					res.Untestable++
+					res.Outcomes[i] = OutcomeUntestable
+				case o.frameLimited:
+					res.FrameLimited++
+					res.Outcomes[i] = OutcomeFrameLimited
+				default:
+					res.Aborted++
+					res.Outcomes[i] = OutcomeBacktrackLimited
+				}
+				return nil
+			})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				exhausted = exec.BudgetDeadline
+			} else {
+				return nil, err
+			}
 		}
 	}
-	dropped := make([]atomic.Bool, len(flist))
-	var detImpl int64
-	err := parallel.Ordered(cfg.Workers, len(undet),
-		func(j int) (detOutcome, error) {
-			i := undet[j]
-			if dropped[i].Load() {
-				// Already dropped by a committed test: the commit side will
-				// discard this placeholder. Errors are carried inside the
-				// outcome so a speculative search on a dropped fault can
-				// never surface one the sequential run would not have seen.
-				return detOutcome{}, nil
-			}
-			return searchFault(c, flist[i], i, cfg, frameSchedule), nil
-		},
-		func(j int, o detOutcome) error {
-			i := undet[j]
-			if detected[i] {
-				return nil // dropped by an earlier committed test
-			}
-			if o.err != nil {
-				return o.err
-			}
-			detImpl += o.impl
-			switch {
-			case o.success:
-				detected[i] = true
-				res.DetDetected++
-				res.TestCycles += o.frames
-				// Fault-simulate the generated test against the remaining
-				// faults (test-set reuse / fault dropping).
-				res.TestSet = append(res.TestSet, extractLane(o.vec, 0))
-				newly, err := logicsim.FaultSimIncrementalWorkers(c, flist, detected, nil, o.vec, 0, cfg.Workers)
-				if err != nil {
-					return err
-				}
-				res.DetDetected += newly
-				for k := range flist {
-					if detected[k] && !dropped[k].Load() {
-						dropped[k].Store(true)
-					}
-				}
-			case o.untestable:
-				res.Untestable++
-			default:
-				res.Aborted++
-			}
-			return nil
-		})
-	if err != nil {
-		return nil, err
+
+	// Faults the deadline left unresolved become Skipped; a panic-isolated
+	// campaign with no deadline is also partial (the panicked faults were
+	// never genuinely searched).
+	for i := range flist {
+		if res.Outcomes[i] == OutcomeNone {
+			res.Outcomes[i] = OutcomeSkipped
+			res.Skipped++
+		}
+	}
+	if exhausted == "" && len(res.Errors) > 0 {
+		exhausted = exec.BudgetPanic
+	}
+	if exhausted != "" {
+		res.Status = exec.StatusPartial
+		res.Exhausted = exhausted
 	}
 	res.Coverage = float64(count(detected)) / float64(len(flist))
 	res.Effort = (randGateEvals + detImpl) / 1000
@@ -234,22 +420,34 @@ func Run(c *gates.Circuit, cfg Config) (*Result, error) {
 
 // detOutcome is the result of one fault's full deterministic search.
 type detOutcome struct {
-	impl       int64
-	success    bool
-	frames     int
-	vec        [][]uint64
-	untestable bool
-	aborted    bool
-	err        error
+	impl         int64
+	success      bool
+	frames       int
+	vec          [][]uint64
+	untestable   bool
+	frameLimited bool
+	aborted      bool
+	cut          bool // deadline expired mid-search
+	panicked     *exec.ExecError
+	err          error
 }
 
 // searchFault runs the complete frame-escalation/restart PODEM search for
 // one fault. It depends only on (c, f, i, cfg), never on the state of
-// other faults, so it can run speculatively on any worker.
-func searchFault(c *gates.Circuit, f fault.Fault, i int, cfg Config, frameSchedule []int) detOutcome {
+// other faults, so it can run speculatively on any worker. The context is
+// checked at each restart boundary; a mid-search cancellation returns a
+// cut outcome rather than a half-trusted classification.
+func searchFault(ctx context.Context, c *gates.Circuit, f fault.Fault, i int, cfg Config, frameSchedule []int, comb bool) detOutcome {
 	var out detOutcome
+	if cfg.testHookSearch != nil {
+		cfg.testHookSearch(i)
+	}
 	for _, frames := range frameSchedule {
 		for restart := 0; restart <= cfg.Restarts; restart++ {
+			if ctx.Err() != nil {
+				out.cut = true
+				return out
+			}
 			var rng2 *rand.Rand
 			if restart > 0 {
 				rng2 = rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(restart)))
@@ -267,11 +465,18 @@ func searchFault(c *gates.Circuit, f fault.Fault, i int, cfg Config, frameSchedu
 				return out
 			}
 			if !pr.Aborted {
-				// The decision tree was exhausted: within this frame window
-				// the fault is untestable regardless of search order; no
-				// point in restarting.
-				if frames == frameSchedule[len(frameSchedule)-1] {
+				// The decision tree was exhausted. On a combinational circuit
+				// that is a complete untestability proof (every frame repeats
+				// the same logic). On a sequential circuit it only proves no
+				// test exists within this window, so once the window cap is
+				// reached the honest verdict is "frame budget exhausted",
+				// never "untestable".
+				if comb {
 					out.untestable = true
+					return out
+				}
+				if frames == frameSchedule[len(frameSchedule)-1] {
+					out.frameLimited = true
 					return out
 				}
 				break // escalate frames

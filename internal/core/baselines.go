@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -24,15 +25,23 @@ func Methods() []string {
 
 // Run dispatches a synthesis flow by method name.
 func Run(method string, g *dfg.Graph, par Params) (*Result, error) {
+	return RunCtx(context.Background(), method, g, par)
+}
+
+// RunCtx dispatches a synthesis flow by method name under a context. The
+// iterative flows (ours, CAMAD) degrade to partial results on
+// cancellation; the phase-separated baselines run to completion (their
+// single schedule-then-allocate pass has no useful intermediate state).
+func RunCtx(ctx context.Context, method string, g *dfg.Graph, par Params) (*Result, error) {
 	switch method {
 	case MethodCAMAD:
-		return SynthesizeCAMAD(g, par)
+		return synthesizeCAMADCtx(ctx, g, par)
 	case MethodApproach1:
 		return SynthesizeApproach1(g, par)
 	case MethodApproach2:
 		return SynthesizeApproach2(g, par)
 	case MethodOurs:
-		return Synthesize(g, par)
+		return SynthesizeCtx(ctx, g, par)
 	default:
 		return nil, fmt.Errorf("core: unknown method %q", method)
 	}
@@ -45,6 +54,10 @@ func Run(method string, g *dfg.Graph, par Params) (*Result, error) {
 // without the SR rules, and additions, subtractions and comparisons pool
 // into combined ALUs (the "±" modules of the tables).
 func SynthesizeCAMAD(g *dfg.Graph, par Params) (*Result, error) {
+	return synthesizeCAMADCtx(context.Background(), g, par)
+}
+
+func synthesizeCAMADCtx(ctx context.Context, g *dfg.Graph, par Params) (*Result, error) {
 	par.Selection = SelectConnectivity
 	par.Reschedule = RescheduleAppend
 	// The paper's CAMAD rows keep one variable per register (R: a, R: b,
@@ -53,7 +66,7 @@ func SynthesizeCAMAD(g *dfg.Graph, par Params) (*Result, error) {
 	if par.Class == nil {
 		par.Class = sched.ALUClass
 	}
-	r, err := Synthesize(g, par)
+	r, err := SynthesizeCtx(ctx, g, par)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dfg"
 	"repro/internal/etpn"
+	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -143,7 +145,10 @@ func (p Params) lib() *cost.Library {
 	return p.Lib
 }
 
-// Result is a completed synthesis.
+// Result is a synthesis result. When Status is exec.StatusPartial the
+// merger loop was cut short by a deadline: the design is the best state
+// committed by then — a valid, buildable design, just with fewer mergers
+// applied than an uninterrupted run would have committed.
 type Result struct {
 	Method string
 	Design *etpn.Design
@@ -157,6 +162,11 @@ type Result struct {
 	Metrics *testability.Metrics
 	// Trace logs one line per committed merger.
 	Trace []string
+	// Status is StatusComplete for a finished merger loop, StatusPartial
+	// when the budget named by Exhausted cut it short.
+	Status exec.Status
+	// Exhausted names the exhausted budget ("" when complete).
+	Exhausted string
 }
 
 // state carries the evolving design through the synthesis loop.
@@ -492,17 +502,31 @@ var tiePolicies = []tiePolicy{tieHighScore, tieLowScore, tieStrict, tieNoDepBonu
 // sequential reduction in tiePolicies order, making the result identical
 // at every worker count.
 func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
+	return SynthesizeCtx(context.Background(), g, par)
+}
+
+// SynthesizeCtx is Synthesize under a context. Cancellation degrades
+// gracefully: each tie policy's merger loop checks the context at every
+// iteration boundary, stops merging when it dies, and finishes its
+// current (valid, buildable) state; the winner reduction then runs as
+// usual and the returned Result is tagged StatusPartial. The nil error on
+// a partial result is deliberate — a deadline is a budget, not a failure.
+func SynthesizeCtx(ctx context.Context, g *dfg.Graph, par Params) (*Result, error) {
 	// One cache serves all four policies: they share the initial state and
 	// most early-iteration evaluations, so cross-policy hits are where the
 	// memoization pays most. Cached values are pure functions of their
 	// keys, keeping the result independent of sharing and worker count.
 	cache := newEvalCache(par)
 	if par.NoExplore {
-		return synthesizeOnce(g, par, tieHighScore, cache)
+		return synthesizeOnce(ctx, g, par, tieHighScore, cache)
 	}
+	// The pool deliberately runs without the context: each policy handles
+	// cancellation itself by degrading to a partial design, so all four
+	// jobs return results (never ctx.Err()) and the winner reduction still
+	// has a full slate to choose from.
 	results := make([]*Result, len(tiePolicies))
 	if err := parallel.ForEach(par.Workers, len(tiePolicies), func(i int) error {
-		r, err := synthesizeOnce(g, par, tiePolicies[i], cache)
+		r, err := synthesizeOnce(ctx, g, par, tiePolicies[i], cache)
 		if err != nil {
 			return err
 		}
@@ -537,10 +561,18 @@ func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
 			best, bestCost = r, c
 		}
 	}
+	// An exploration where any policy was cut short is itself partial:
+	// the winner might have lost to a policy that never got to finish.
+	for _, r := range results {
+		if r.Status == exec.StatusPartial && best.Status != exec.StatusPartial {
+			best.Status = exec.StatusPartial
+			best.Exhausted = r.Exhausted
+		}
+	}
 	return best, nil
 }
 
-func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy, cache *evalCache) (*Result, error) {
+func synthesizeOnce(ctx context.Context, g *dfg.Graph, par Params, tp tiePolicy, cache *evalCache) (*Result, error) {
 	st, err := initialState(g, par, cache)
 	if err != nil {
 		return nil, err
@@ -549,8 +581,15 @@ func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy, cache *evalCache) (*
 	if k <= 0 {
 		k = 3
 	}
+	exhausted := ""
 	var trace []string
 	for iter := 0; ; iter++ {
+		if ctx.Err() != nil {
+			// Deadline mid-loop: keep the mergers committed so far and
+			// finish the current state as a partial result.
+			exhausted = exec.BudgetDeadline
+			break
+		}
 		if iter > g.NumNodes()+g.NumValues()+8 {
 			return nil, fmt.Errorf("core: merger loop failed to terminate")
 		}
@@ -632,7 +671,15 @@ func synthesizeOnce(g *dfg.Graph, par Params, tp tiePolicy, cache *evalCache) (*
 		st = best
 		trace = append(trace, bestLine)
 	}
-	return st.finish("ours", trace)
+	res, err := st.finish("ours", trace)
+	if err != nil {
+		return nil, err
+	}
+	if exhausted != "" {
+		res.Status = exec.StatusPartial
+		res.Exhausted = exhausted
+	}
+	return res, nil
 }
 
 // slice returns list[lo:lo+n] clamped to the list bounds.

@@ -1,6 +1,10 @@
 package dfg
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
 
 // Eval evaluates a single operation on width-bit unsigned operands and
 // returns the width-bit result. Comparison operators return 0 or 1.
@@ -64,7 +68,16 @@ func Mask(width int) uint64 {
 // the value of every primary output by name. Interpret is the reference
 // semantics that synthesized RTL and gate-level implementations are checked
 // against.
+// Interpret is a public library boundary: an internal panic (e.g. Eval on
+// an unsupported op kind in a hand-built graph) is recovered and returned
+// as an *exec.ExecError rather than unwinding into the caller.
 func (g *Graph) Interpret(width int, inputs map[string]uint64) (map[string]uint64, error) {
+	return exec.Guard1("dfg.interpret", -1, func() (map[string]uint64, error) {
+		return g.interpret(width, inputs)
+	})
+}
+
+func (g *Graph) interpret(width int, inputs map[string]uint64) (map[string]uint64, error) {
 	vals := make([]uint64, len(g.values))
 	have := make([]bool, len(g.values))
 	for _, v := range g.values {

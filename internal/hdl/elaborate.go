@@ -129,11 +129,19 @@ func (e *entity) elaborate(width int) (*dfg.Graph, error) {
 		if !found {
 			return nil, fmt.Errorf("hdl: line %d: assignment to undeclared variable %q", st.line, st.target)
 		}
-		// SSA rename on reassignment.
+		// SSA rename on reassignment. The versioned name must not collide
+		// with any value already in the graph, nor with a declared port or
+		// variable that has yet to be assigned — a user identifier can
+		// legitimately be called a_2 — so bump the version until free.
 		name := st.target
 		if _, already := env[name]; already {
-			version[name]++
-			name = fmt.Sprintf("%s_%d", st.target, version[st.target]+1)
+			for {
+				version[st.target]++
+				name = fmt.Sprintf("%s_%d", st.target, version[st.target]+1)
+				if _, taken := g.ValueByName(name); !taken && !declared[name] {
+					break
+				}
+			}
 		}
 		val := g.Value(v)
 		if val.Kind == dfg.ValTemp && !val.IsOutput {

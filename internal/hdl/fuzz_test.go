@@ -1,0 +1,136 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are the corpus starting points: the real benchmark source plus
+// minimized inputs for each crash the fuzzer originally found (EOF cursor
+// overruns in the parser and SSA-rename collisions in the elaborator).
+var fuzzSeeds = []string{
+	diffeqSrc,
+	"",
+	"entity",
+	"entity e is port ( a : in integer ); end entity ; architecture b of e is begin process (",
+	"entity e is port ( a : in integer ); end entity ; architecture b of e is begin process ( a",
+	`entity e is
+  port ( x : in integer; z : out integer );
+end entity;
+architecture b of e is
+begin
+  process (x)
+    variable a, a_2 : integer;
+  begin
+    a := x;
+    a_2 := x;
+    a := x;
+    z <= a;
+  end process;
+end architecture;
+`,
+	`entity e is
+  port ( x : in integer; a_2 : out integer );
+end entity;
+architecture b of e is
+begin
+  process (x)
+    variable a : integer;
+  begin
+    a := x;
+    a := x;
+    a_2 <= x;
+  end process;
+end architecture;
+`,
+	"entity e is port ( a : in integer ); end; architecture b of e is begin process begin a :=",
+	"entity e is port ( a : in integer ); end; architecture b of e is begin process begin x := not",
+	"entity e is port ( a : in integer ); end; architecture b of e is begin process begin x := ((1+",
+}
+
+// FuzzCompile asserts the front-end contract: Compile on arbitrary input
+// either succeeds or returns an error — it never panics (the fuzz engine
+// converts any panic into a failure) and never returns a nil graph without
+// an error.
+func FuzzCompile(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s, 8)
+	}
+	f.Fuzz(func(t *testing.T, src string, width int) {
+		if width < 1 || width > 64 {
+			width = 8
+		}
+		g, err := Compile(src, width)
+		if err == nil && g == nil {
+			t.Fatal("Compile returned nil graph and nil error")
+		}
+		if err != nil && !strings.Contains(err.Error(), "hdl:") && !strings.Contains(err.Error(), "dfg:") && !strings.Contains(err.Error(), "exec:") {
+			t.Fatalf("error without package prefix: %v", err)
+		}
+	})
+}
+
+// FuzzLex asserts the lexer alone never panics and that every successful
+// token stream is EOF-terminated (the parser's cursor clamp depends on it).
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tEOF {
+			t.Fatalf("token stream not EOF-terminated: %v", toks)
+		}
+	})
+}
+
+// TestParserEOFRegressions pins the crash fixes: inputs that used to run
+// the parser cursor past the token slice now produce ordinary errors.
+func TestParserEOFRegressions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated sensitivity list", "entity e is port ( a : in integer ); end entity ; architecture b of e is begin process ("},
+		{"sensitivity list at EOF", "entity e is port ( a : in integer ); end entity ; architecture b of e is begin process ( a , b"},
+		{"truncated statement", "entity e is port ( a : in integer ); end; architecture b of e is begin process begin a :="},
+		{"truncated not", "entity e is port ( a : in integer ); end; architecture b of e is begin process begin x := not"},
+		{"truncated parens", "entity e is port ( a : in integer ); end; architecture b of e is begin process begin x := ((1+"},
+		{"bare entity", "entity"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.src, 8); err == nil {
+				t.Fatal("malformed input compiled without error")
+			}
+		})
+	}
+}
+
+// TestSSARenameAvoidsUserNames pins the elaborator fix: a reassigned
+// variable's versioned name must dodge both an existing value called a_2
+// and a declared-but-unassigned port called a_2.
+func TestSSARenameAvoidsUserNames(t *testing.T) {
+	t.Run("variable named a_2", func(t *testing.T) {
+		g, err := Compile(fuzzSeeds[5], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			t.Fatal("nil graph")
+		}
+	})
+	t.Run("out port named a_2", func(t *testing.T) {
+		g, err := Compile(fuzzSeeds[6], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := g.ValueByName("a_2"); !ok {
+			t.Fatal("out port a_2 missing from graph")
+		}
+	})
+}

@@ -5,11 +5,21 @@ import (
 	"strconv"
 
 	"repro/internal/dfg"
+	"repro/internal/exec"
 )
 
 // Compile parses a behavioural description and elaborates it into a
-// data-flow graph at the given bit width.
+// data-flow graph at the given bit width. Compile never panics on
+// malformed input: parse and elaboration errors are returned as ordinary
+// errors, and any internal invariant violation (e.g. in graph
+// construction) is recovered at this boundary as an *exec.ExecError.
 func Compile(src string, width int) (*dfg.Graph, error) {
+	return exec.Guard1("hdl.compile", -1, func() (*dfg.Graph, error) {
+		return compile(src, width)
+	})
+}
+
+func compile(src string, width int) (*dfg.Graph, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -61,8 +71,23 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// cur returns the current token, clamped to the trailing tEOF so that a
+// production which consumes the EOF token cannot run the cursor off the
+// slice (the lexer always emits tEOF last).
+func (p *parser) cur() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) expectSym(s string) error {
 	t := p.next()
@@ -196,10 +221,12 @@ func (p *parser) parseDesign() (*entity, error) {
 	}
 	if p.acceptSym("(") { // sensitivity list, ignored
 		for !p.acceptSym(")") {
-			p.pos++
+			// Check before skipping: advancing past EOF and then reading
+			// used to run the cursor off the token slice.
 			if p.cur().kind == tEOF {
 				return nil, fmt.Errorf("hdl: unterminated sensitivity list")
 			}
+			p.pos++
 		}
 	}
 	// Variable declarations.

@@ -1,6 +1,7 @@
 package logicsim
 
 import (
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/gates"
 	"repro/internal/parallel"
@@ -43,6 +44,12 @@ func FaultSim(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64) (*Fault
 // (each fault owns its slot, so the merge is free and deterministic).
 // workers < 1 means one per CPU; 1 reproduces the sequential loop exactly.
 func FaultSimWorkers(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64, workers int) (*FaultSimResult, error) {
+	return exec.Guard1("logicsim.faultsim", -1, func() (*FaultSimResult, error) {
+		return faultSimWorkers(c, flist, vectors, workers)
+	})
+}
+
+func faultSimWorkers(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64, workers int) (*FaultSimResult, error) {
 	good, err := New(c)
 	if err != nil {
 		return nil, err
@@ -99,6 +106,12 @@ func FaultSimIncremental(c *gates.Circuit, flist []fault.Fault, detected []bool,
 // so the update is race-free and the outcome is bit-identical at every
 // worker count; workers < 1 means one per CPU.
 func FaultSimIncrementalWorkers(c *gates.Circuit, flist []fault.Fault, detected []bool, detectCycle []int, vectors [][]uint64, cycleBase, workers int) (int, error) {
+	return exec.Guard1("logicsim.faultsim", -1, func() (int, error) {
+		return faultSimIncrementalWorkers(c, flist, detected, detectCycle, vectors, cycleBase, workers)
+	})
+}
+
+func faultSimIncrementalWorkers(c *gates.Circuit, flist []fault.Fault, detected []bool, detectCycle []int, vectors [][]uint64, cycleBase, workers int) (int, error) {
 	good, err := New(c)
 	if err != nil {
 		return 0, err

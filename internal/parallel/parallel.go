@@ -10,12 +10,23 @@
 // each job a pure function of its index (writes go to slot i of a result
 // slice) and by funnelling all shared mutable state through the ordered
 // commit callback of Ordered.
+//
+// The pool is hardened (package exec): a panic inside a job is recovered
+// on its worker and reported as an *exec.ExecError through the ordinary
+// smallest-index error contract — one crashing job never takes down the
+// process or the sibling jobs, which always run to completion. The Ctx
+// variants additionally check for cancellation at every iteration
+// boundary: a cancelled context makes the unstarted jobs report ctx.Err()
+// while the already-started ones drain normally.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/exec"
 )
 
 // Workers normalizes a worker-count knob: values below 1 mean "one worker
@@ -50,9 +61,18 @@ func Split(workers, n int) (outer, inner int) {
 // smallest index, matching what a sequential loop would return. fn's
 // observable effects must depend only on i, never on which worker runs it
 // or in what order; under that contract the result is identical at every
-// worker count.
+// worker count. A panicking fn is recovered and reported as an
+// *exec.ExecError carrying its index.
 func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachWorker(workers, n,
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: the context is checked before
+// every job, and a job whose turn comes after cancellation records
+// ctx.Err() instead of running. Already-running jobs drain normally (they
+// are index-pure, so letting them finish is side-effect free).
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, workers, n,
 		func() (struct{}, error) { return struct{}{}, nil },
 		func(_ struct{}, i int) error { return fn(i) })
 }
@@ -68,6 +88,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // smallest-index error; the sequential path stops at the first error,
 // which under the purity contract is the same one.
 func ForEachWorker[S any](workers, n int, setup func() (S, error), fn func(s S, i int) error) error {
+	return ForEachWorkerCtx(context.Background(), workers, n, setup, fn)
+}
+
+// ForEachWorkerCtx is ForEachWorker with cancellation, with the same
+// iteration-boundary contract as ForEachCtx.
+func ForEachWorkerCtx[S any](ctx context.Context, workers, n int, setup func() (S, error), fn func(s S, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -81,7 +107,10 @@ func ForEachWorker[S any](workers, n int, setup func() (S, error), fn func(s S, 
 			return err
 		}
 		for i := 0; i < n; i++ {
-			if err := fn(s, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runJob(fn, s, i); err != nil {
 				return err
 			}
 		}
@@ -105,7 +134,11 @@ func ForEachWorker[S any](workers, n int, setup func() (S, error), fn func(s S, 
 				if i >= n {
 					return
 				}
-				errs[i] = fn(s, i)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = runJob(fn, s, i)
 			}
 		}(w)
 	}
@@ -123,6 +156,13 @@ func ForEachWorker[S any](workers, n int, setup func() (S, error), fn func(s S, 
 	return nil
 }
 
+// runJob executes one job under panic isolation: a panic becomes an
+// *exec.ExecError carrying the job index, recovered on the worker before
+// it can unwind into the pool (or, on the sequential path, the caller).
+func runJob[S any](fn func(s S, i int) error, s S, i int) error {
+	return exec.Guard("parallel.job", i, func() error { return fn(s, i) })
+}
+
 // Ordered runs produce(i) for every i in [0, n) on up to `workers`
 // goroutines and calls commit(i, v) strictly in increasing index order on
 // the calling goroutine. This is the speculative-pipeline primitive: a
@@ -133,10 +173,20 @@ func ForEachWorker[S any](workers, n int, setup func() (S, error), fn func(s S, 
 // recognizing and discarding). commit owns all shared mutable state and
 // needs no locking.
 //
-// The first error observed in commit order — whether from produce or from
-// commit itself — aborts the run after the in-flight jobs drain, exactly
-// mirroring the sequential produce/commit loop.
+// The first error observed in commit order — whether from produce, from
+// commit itself, or an *exec.ExecError recovered from a panic in either —
+// aborts the run after the in-flight jobs drain, exactly mirroring the
+// sequential produce/commit loop.
 func Ordered[T any](workers, n int, produce func(i int) (T, error), commit func(i int, v T) error) error {
+	return OrderedCtx(context.Background(), workers, n, produce, commit)
+}
+
+// OrderedCtx is Ordered with cancellation: the context is checked before
+// each produce and each commit. A job whose production turn comes after
+// cancellation records ctx.Err(), which then surfaces in commit order —
+// so every commit with a smaller index than the cancellation point still
+// lands, and the caller observes a clean prefix plus ctx.Err().
+func OrderedCtx[T any](ctx context.Context, workers, n int, produce func(i int) (T, error), commit func(i int, v T) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -146,11 +196,14 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), commit func(
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := produce(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := runProduce(produce, i)
 			if err != nil {
 				return err
 			}
-			if err := commit(i, v); err != nil {
+			if err := runCommit(commit, i, v); err != nil {
 				return err
 			}
 		}
@@ -174,8 +227,10 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), commit func(
 				if i >= n {
 					return
 				}
-				if !stop.Load() {
-					results[i], errs[i] = produce(i)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+				} else if !stop.Load() {
+					results[i], errs[i] = runProduce(produce, i)
 				}
 				close(ready[i])
 			}
@@ -188,7 +243,11 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), commit func(
 			err = errs[i]
 			break
 		}
-		if cerr := commit(i, results[i]); cerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		if cerr := runCommit(commit, i, results[i]); cerr != nil {
 			err = cerr
 			break
 		}
@@ -196,4 +255,15 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), commit func(
 	stop.Store(true)
 	wg.Wait()
 	return err
+}
+
+// runProduce and runCommit are the panic-isolation points of Ordered:
+// produce panics are recovered on the producing worker, commit panics on
+// the calling goroutine, both as *exec.ExecError with the job index.
+func runProduce[T any](produce func(i int) (T, error), i int) (T, error) {
+	return exec.Guard1("parallel.produce", i, func() (T, error) { return produce(i) })
+}
+
+func runCommit[T any](commit func(i int, v T) error, i int, v T) error {
+	return exec.Guard("parallel.commit", i, func() error { return commit(i, v) })
 }

@@ -1,0 +1,143 @@
+package petri
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// TestReachabilityBudgets is the table-driven deadline/budget test for the
+// reachability exploration: each row pairs a context state with a node
+// budget and names the error the caller must observe, including the
+// zero-budget and already-cancelled corner cases.
+func TestReachabilityBudgets(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+
+	tests := []struct {
+		name     string
+		ctx      context.Context
+		maxNodes int
+		wantErr  error  // matched with errors.Is when non-nil
+		wantMsg  string // substring match when wantErr is nil and an error is expected
+		wantOK   bool
+	}{
+		{name: "success", ctx: context.Background(), maxNodes: 64, wantOK: true},
+		{name: "exact budget", ctx: context.Background(), maxNodes: 5, wantOK: true},
+		{name: "zero budget", ctx: context.Background(), maxNodes: 0, wantMsg: "exceeds 0 markings"},
+		{name: "budget one short", ctx: context.Background(), maxNodes: 4, wantMsg: "exceeds 4 markings"},
+		{name: "already cancelled", ctx: cancelled, maxNodes: 64, wantErr: context.Canceled},
+		{name: "deadline expired", ctx: expired, maxNodes: 64, wantErr: context.DeadlineExceeded},
+		{name: "cancelled beats zero budget", ctx: cancelled, maxNodes: 0, wantErr: context.Canceled},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			n, _ := Chain("chain", 5)
+			nodes, err := n.ReachabilityGraphCtx(tc.ctx, tc.maxNodes)
+			if tc.wantOK {
+				if err != nil {
+					t.Fatalf("ReachabilityGraphCtx: %v", err)
+				}
+				if len(nodes) != 5 {
+					t.Fatalf("got %d nodes, want 5", len(nodes))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("err = %q, want substring %q", err, tc.wantMsg)
+			}
+			if nodes != nil {
+				t.Fatalf("error path returned %d nodes alongside error", len(nodes))
+			}
+		})
+	}
+}
+
+// TestReachabilityCtxMidExploration cancels while the frontier is still
+// growing: a loop net keeps the exploration alive long enough that the
+// per-iteration check observes the cancellation.
+func TestReachabilityCtxMidExploration(t *testing.T) {
+	n, _, _ := Loop("loop", 6, "c")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the check sits at the top of every expansion, so index 0 sees it
+	if _, err := n.ReachabilityGraphCtx(ctx, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestReachabilityGraphBackground pins that the ctx-less wrapper still
+// succeeds and agrees with the ctx variant.
+func TestReachabilityGraphBackground(t *testing.T) {
+	n, _, _ := Loop("loop", 3, "c")
+	a, err := n.ReachabilityGraph(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.ReachabilityGraphCtx(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("wrapper explored %d nodes, ctx variant %d", len(a), len(b))
+	}
+}
+
+// TestExecPanicBecomesExecError: a malformed net — two unguarded
+// transitions conflicting on one place, which Validate would reject —
+// drives fire into its internal panic under maximal-step semantics. The
+// Exec boundary must surface that as a typed *exec.ExecError, not unwind.
+func TestExecPanicBecomesExecError(t *testing.T) {
+	n := NewNet("conflict")
+	a := n.AddPlace("a", 0)
+	b := n.AddPlace("b", 1)
+	c := n.AddPlace("c", 1)
+	n.MarkInitial(a)
+	n.MarkFinal(b)
+	n.AddTransition("t1", []PlaceID{a}, []PlaceID{b})
+	n.AddTransition("t2", []PlaceID{a}, []PlaceID{c})
+	if err := n.Validate(); err == nil {
+		t.Fatal("conflicting net unexpectedly validates; test premise broken")
+	}
+	_, err := n.Exec(nil, 10)
+	if err == nil {
+		t.Fatal("Exec of conflicting net succeeded, want ExecError")
+	}
+	ee, ok := exec.AsExecError(err)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *exec.ExecError", err, err)
+	}
+	if ee.Stage != "petri.exec" {
+		t.Errorf("Stage = %q, want petri.exec", ee.Stage)
+	}
+	if !strings.Contains(err.Error(), "without token") {
+		t.Errorf("err = %q, want the fire panic message", err)
+	}
+	if len(ee.Stack) == 0 {
+		t.Error("ExecError carries no stack")
+	}
+}
+
+// TestExecNormalPathUnaffected: the panic guard must not perturb ordinary
+// execution results.
+func TestExecNormalPathUnaffected(t *testing.T) {
+	n, _ := Chain("chain", 4)
+	steps, err := n.Exec(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 4 {
+		t.Fatalf("steps = %d, want 4", steps)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/exec"
 )
 
 // PlaceID identifies a place.
@@ -295,7 +297,16 @@ type GuardOracle func(signal string, occurrence int) bool
 // restricted firing rule guarantees conflict-freedom). It returns the total
 // number of control steps. maxSteps bounds execution to guard against
 // livelock; an error is returned if the final marking is not reached.
+//
+// Exec is a public library boundary: an internal panic (e.g. fire on a
+// structurally disabled transition, which indicates a malformed net) is
+// recovered and returned as an *exec.ExecError rather than unwinding into
+// the caller.
 func (n *Net) Exec(oracle GuardOracle, maxSteps int) (int, error) {
+	return exec.Guard1("petri.exec", -1, func() (int, error) { return n.run(oracle, maxSteps) })
+}
+
+func (n *Net) run(oracle GuardOracle, maxSteps int) (int, error) {
 	if oracle == nil {
 		oracle = func(string, int) bool { return false }
 	}

@@ -1,8 +1,11 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/exec"
 )
 
 // ReachEdge is an edge of the reachability graph: firing a transition moved
@@ -32,6 +35,20 @@ type ReachNode struct {
 // is not safe (a transition would produce a token into a marked place that
 // is not simultaneously consumed).
 func (n *Net) ReachabilityGraph(maxNodes int) ([]*ReachNode, error) {
+	return n.ReachabilityGraphCtx(context.Background(), maxNodes)
+}
+
+// ReachabilityGraphCtx is ReachabilityGraph with cancellation: the context
+// is checked before each marking expansion, so a deadline bounds the
+// exploration in time the way maxNodes bounds it in space. Like Exec, the
+// public boundary converts internal panics into *exec.ExecError values.
+func (n *Net) ReachabilityGraphCtx(ctx context.Context, maxNodes int) ([]*ReachNode, error) {
+	return exec.Guard1("petri.reach", -1, func() ([]*ReachNode, error) {
+		return n.reachabilityGraph(ctx, maxNodes)
+	})
+}
+
+func (n *Net) reachabilityGraph(ctx context.Context, maxNodes int) ([]*ReachNode, error) {
 	start := n.InitialMarking()
 	index := map[string]int{}
 	var nodes []*ReachNode
@@ -47,6 +64,9 @@ func (n *Net) ReachabilityGraph(maxNodes int) ([]*ReachNode, error) {
 	}
 	add(start)
 	for i := 0; i < len(nodes); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(nodes) > maxNodes {
 			return nil, fmt.Errorf("petri: reachability graph of %s exceeds %d markings", n.Name, maxNodes)
 		}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is the checkpoint file behind hltsbench -resume: a JSON-lines
+// append log with one completed (benchmark, method, width) cell per line.
+// Cells are journaled as they commit, so a killed sweep loses at most the
+// cells still in flight; reopening the same path skips everything already
+// recorded. Because every cell is a deterministic function of its
+// (benchmark, method, width, seed, workers-invariant) inputs, a resumed
+// run renders byte-identically to an uninterrupted one.
+//
+// Only complete cells are recorded: a Partial cell reflects an exhausted
+// budget, and replaying it on resume would freeze the degradation into
+// future runs. Partial cells are recomputed instead.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Cell
+}
+
+// journalEntry is one checkpoint line.
+type journalEntry struct {
+	Bench string
+	Cell  Cell
+}
+
+func journalKey(bench, method string, width int) string {
+	return fmt.Sprintf("%s/%s/%d", bench, method, width)
+}
+
+// OpenJournal opens (creating if needed) the checkpoint file at path,
+// loads every cell it already holds, and positions it for appending.
+// Corrupt or truncated trailing lines — the signature of a kill mid-write
+// — are skipped, not fatal: the affected cell is simply recomputed.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, done: map[string]Cell{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn write from a killed run; recompute that cell
+		}
+		j.done[journalKey(e.Bench, e.Cell.Method, e.Cell.Width)] = e.Cell
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// A kill mid-write leaves the file without a trailing newline; seal it
+	// so the next Record starts on a fresh line instead of concatenating
+	// onto the torn fragment (which would corrupt that record too).
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return j, nil
+}
+
+// Lookup returns the journaled cell for (bench, method, width), if any.
+func (j *Journal) Lookup(bench, method string, width int) (Cell, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c, ok := j.done[journalKey(bench, method, width)]
+	return c, ok
+}
+
+// Record journals a completed cell, flushing it to disk before returning
+// so a kill immediately afterwards cannot lose it. Partial cells are
+// ignored (see the type comment). Recording is idempotent: a cell already
+// journaled is not rewritten.
+func (j *Journal) Record(bench string, c Cell) error {
+	if c.Partial {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	key := journalKey(bench, c.Method, c.Width)
+	if _, ok := j.done[key]; ok {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{Bench: bench, Cell: c})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.done[key] = c
+	return nil
+}
+
+// Len returns the number of journaled cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,208 @@
+package report
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/dfg"
+)
+
+// checkpointConfig is a small, fast table configuration shared by the
+// resume tests. Everything is seeded, so cells are deterministic.
+func checkpointConfig(workers, par int) Config {
+	cfg := DefaultConfig(21)
+	cfg.Widths = []int{4}
+	cfg.ATPGFor = func(width int) atpg.Config {
+		c := atpg.DefaultConfig(21 + int64(width))
+		c.SampleFaults = 120
+		c.RandomBatches = 1
+		c.Restarts = 1
+		return c
+	}
+	cfg.Workers = workers
+	cfg.Parallel = par
+	return cfg
+}
+
+// TestKillAndResumeByteIdentical is the acceptance criterion: a sweep
+// interrupted mid-run (journal holding only a prefix of its cells, plus
+// the torn line a kill mid-write leaves) resumes to byte-identical table
+// output, at workers 1 and 8.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	const bench = dfg.BenchEx
+	ref, err := RunTable(bench, checkpointConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refText, refMd := ref.Render(), ref.Markdown()
+	if strings.Contains(refText, "partial") {
+		t.Fatalf("uninterrupted run has partial cells:\n%s", refText)
+	}
+
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	j, err := OpenJournal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := checkpointConfig(1, 1)
+	cfg.Journal = j
+	if _, err := RunTable(bench, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ref.Cells); j.Len() != want {
+		t.Fatalf("journal holds %d cells, want %d", j.Len(), want)
+	}
+	j.Close()
+
+	// Simulate the kill: keep the first two journal lines and append the
+	// torn fragment of a cell that was mid-write when the process died.
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	truncated := filepath.Join(dir, "killed.ckpt")
+	torn := lines[0] + lines[1] + `{"Bench":"ex","Cell":{"Method":"appr`
+	if err := os.WriteFile(truncated, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		resumed, err := OpenJournal(truncated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed.Len() != 2 {
+			t.Fatalf("workers=%d: truncated journal loaded %d cells, want 2 (torn line dropped)", workers, resumed.Len())
+		}
+		cfg := checkpointConfig(workers, workers)
+		cfg.Journal = resumed
+		tbl, err := RunTable(bench, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed.Close()
+		if got := tbl.Render(); got != refText {
+			t.Errorf("workers=%d: resumed render diverges:\n--- resumed ---\n%s\n--- reference ---\n%s", workers, got, refText)
+		}
+		if got := tbl.Markdown(); got != refMd {
+			t.Errorf("workers=%d: resumed markdown diverges", workers)
+		}
+		// The resume must not have re-run the journaled prefix: its own
+		// journal file gains only the missing cells.
+		reopened, err := OpenJournal(truncated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := len(ref.Cells); reopened.Len() != want {
+			t.Errorf("workers=%d: resumed journal holds %d cells, want %d", workers, reopened.Len(), want)
+		}
+		reopened.Close()
+		// Restore the truncated journal for the next worker count.
+		if err := os.WriteFile(truncated, []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCancelledSweepResumes: a sweep interrupted by context cancellation
+// journals nothing partial; resuming with a live context reproduces the
+// uninterrupted output byte-for-byte.
+func TestCancelledSweepResumes(t *testing.T) {
+	const bench = dfg.BenchEx
+	ref, err := RunTable(bench, checkpointConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := checkpointConfig(1, 1)
+	cfg.Journal = j
+	interrupted, err := RunTableCtx(ctx, bench, cfg)
+	if err != nil {
+		t.Fatalf("cancelled sweep errored instead of degrading: %v", err)
+	}
+	if interrupted.partialCount() != len(interrupted.Cells) {
+		t.Errorf("cancelled sweep: %d of %d cells partial", interrupted.partialCount(), len(interrupted.Cells))
+	}
+	if !strings.Contains(interrupted.Render(), "partial") {
+		t.Error("partial table renders without marker")
+	}
+	if j.Len() != 0 {
+		t.Errorf("cancelled sweep journaled %d partial cells", j.Len())
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = j2
+	resumed, err := RunTable(bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if resumed.Render() != ref.Render() {
+		t.Errorf("resume after cancellation diverges:\n%s\nvs\n%s", resumed.Render(), ref.Render())
+	}
+}
+
+// TestJournalRecordSemantics pins the journal contract: idempotent
+// records, partial cells refused, lookups keyed by all three coordinates.
+func TestJournalRecordSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Method: core.MethodOurs, Width: 8, Coverage: 0.5, Area: 123.25}
+	if err := j.Record("ex", cell); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("ex", cell); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := j.Record("ex", Cell{Method: core.MethodOurs, Width: 8, Partial: true}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("journal holds %d cells, want 1", j.Len())
+	}
+	if _, ok := j.Lookup("ex", core.MethodOurs, 4); ok {
+		t.Error("lookup matched the wrong width")
+	}
+	if _, ok := j.Lookup("dct", core.MethodOurs, 8); ok {
+		t.Error("lookup matched the wrong benchmark")
+	}
+	got, ok := j.Lookup("ex", core.MethodOurs, 8)
+	if !ok || got != cell {
+		t.Fatalf("lookup returned %+v, want %+v", got, cell)
+	}
+	j.Close()
+	// Reopen: the float fields must round-trip exactly through JSON.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, ok = j2.Lookup("ex", core.MethodOurs, 8)
+	if !ok || got != cell {
+		t.Fatalf("reloaded cell %+v, want %+v", got, cell)
+	}
+}

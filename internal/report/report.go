@@ -9,6 +9,7 @@
 package report
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/rtl"
 	"repro/internal/stats"
@@ -42,6 +44,13 @@ type Cell struct {
 
 	Gates int
 	DFFs  int
+
+	// Partial marks a cell whose synthesis or ATPG campaign ran out of
+	// budget (Exhausted names it): the figures are genuine best-so-far
+	// measurements, rendered with a marker rather than aborting the row.
+	// Partial cells are never checkpointed — a resumed run recomputes them.
+	Partial   bool   `json:",omitempty"`
+	Exhausted string `json:",omitempty"`
 }
 
 // Table is a complete experiment table.
@@ -73,6 +82,11 @@ type Config struct {
 	// Stats, when non-nil, collects per-stage synthesis counters and
 	// timers across every cell. Purely observational.
 	Stats *stats.Stats
+	// Journal, when non-nil, checkpoints completed cells as they commit
+	// and skips cells it already holds, making an interrupted sweep
+	// resumable (see OpenJournal). Cells are deterministic, so a resumed
+	// table is byte-identical to an uninterrupted one.
+	Journal *Journal
 }
 
 // DefaultConfig returns the configuration reproducing the paper's setup.
@@ -116,6 +130,17 @@ func loopSignalFor(bench string) string {
 // RunTable executes the full table for one benchmark: every method at
 // every width.
 func RunTable(bench string, cfg Config) (*Table, error) {
+	return RunTableCtx(context.Background(), bench, cfg)
+}
+
+// RunTableCtx is RunTable under a context. Cancellation degrades
+// gracefully: the synthesis and campaign inside each cell stop at their
+// next budget boundary and the cell lands Partial rather than erroring,
+// so the table always renders (with partial markers). With cfg.Journal
+// set, each completed cell is checkpointed as it commits and cells the
+// journal already holds are skipped — deterministically, so a resumed
+// table is byte-identical to an uninterrupted run.
+func RunTableCtx(ctx context.Context, bench string, cfg Config) (*Table, error) {
 	tbl := &Table{
 		Title:     fmt.Sprintf("Experimental results on the area-optimized %s benchmark", bench),
 		Benchmark: bench,
@@ -153,11 +178,22 @@ func RunTable(bench string, cfg Config) (*Table, error) {
 	cellCfg := cfg
 	cellCfg.Workers = inner
 	err := parallel.ForEach(outer, len(jobs), func(idx int) error {
-		cell, err := RunCell(bench, jobs[idx].method, jobs[idx].width, cellCfg)
+		if cfg.Journal != nil {
+			if cell, ok := cfg.Journal.Lookup(bench, jobs[idx].method, jobs[idx].width); ok {
+				cells[idx] = cell
+				return nil
+			}
+		}
+		cell, err := RunCellCtx(ctx, bench, jobs[idx].method, jobs[idx].width, cellCfg)
 		if err != nil {
 			return err
 		}
 		cells[idx] = *cell
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Record(bench, *cell); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -169,6 +205,13 @@ func RunTable(bench string, cfg Config) (*Table, error) {
 
 // RunCell measures one (benchmark, method, width) point.
 func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
+	return RunCellCtx(context.Background(), bench, method, width, cfg)
+}
+
+// RunCellCtx is RunCell under a context. A deadline inside the cell
+// degrades it to a Partial measurement (synthesis keeps its committed
+// mergers, the campaign its best-so-far coverage) rather than an error.
+func RunCellCtx(ctx context.Context, bench, method string, width int, cfg Config) (*Cell, error) {
 	g, err := dfg.ByName(bench, width)
 	if err != nil {
 		return nil, err
@@ -178,7 +221,7 @@ func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
 	par.LoopSignal = loopSignalFor(bench)
 	par.Workers = cfg.Workers
 	par.Stats = cfg.Stats
-	res, err := core.Run(method, g, par)
+	res, err := core.RunCtx(ctx, method, g, par)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%d: %w", bench, method, width, err)
 	}
@@ -191,12 +234,12 @@ func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
 	if acfg.MaxFrames < 2*(nl.Steps+1) {
 		acfg.MaxFrames = 2 * (nl.Steps + 1)
 	}
-	ares, err := atpg.Run(nl.C, acfg)
+	ares, err := atpg.RunCtx(ctx, nl.C, acfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%d: %w", bench, method, width, err)
 	}
 	modStr, regStr := allocStrings(res)
-	return &Cell{
+	cell := &Cell{
 		Method: method, Width: width,
 		ModuleAlloc: modStr, RegisterAlloc: regStr,
 		Mux: res.Mux.Muxes, Modules: res.Design.Alloc.NumModules(),
@@ -205,7 +248,14 @@ func RunCell(bench, method string, width int, cfg Config) (*Cell, error) {
 		Coverage: ares.Coverage, TGEffort: ares.Effort, TestCycles: ares.TestCycles,
 		Area:  res.Area.Total,
 		Gates: nl.C.NumGates(), DFFs: len(nl.C.DFFs),
-	}, nil
+	}
+	switch {
+	case res.Status == exec.StatusPartial:
+		cell.Partial, cell.Exhausted = true, res.Exhausted
+	case ares.Status == exec.StatusPartial:
+		cell.Partial, cell.Exhausted = true, ares.Exhausted
+	}
+	return cell, nil
 }
 
 func allocStrings(res *core.Result) (string, string) {
@@ -266,11 +316,33 @@ func (t *Table) Render() string {
 		fmt.Fprintf(&b, "  %5s  %10s  %14s  %12s  %10s  %8s\n",
 			"#Bit", "Fault cov.", "TG effort", "Test cycles", "Area", "Gates")
 		for _, c := range cells {
-			fmt.Fprintf(&b, "  %5d  %9.2f%%  %14d  %12d  %10.0f  %8d\n",
-				c.Width, 100*c.Coverage, c.TGEffort, c.TestCycles, c.Area, c.Gates)
+			fmt.Fprintf(&b, "  %5d  %9.2f%%  %14d  %12d  %10.0f  %8d%s\n",
+				c.Width, 100*c.Coverage, c.TGEffort, c.TestCycles, c.Area, c.Gates, partialMark(c))
 		}
 	}
+	if n := t.partialCount(); n > 0 {
+		fmt.Fprintf(&b, "\n* %d partial cell(s): a budget ran out before the cell completed; figures are best-so-far.\n", n)
+	}
 	return b.String()
+}
+
+// partialMark renders the partial-cell marker appended to a table row.
+func partialMark(c Cell) string {
+	if c.Partial {
+		return "  *partial:" + c.Exhausted
+	}
+	return ""
+}
+
+// partialCount counts the table's partial cells.
+func (t *Table) partialCount() int {
+	n := 0
+	for _, c := range t.Cells {
+		if c.Partial {
+			n++
+		}
+	}
+	return n
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table for
@@ -296,9 +368,16 @@ func (t *Table) Markdown() string {
 				mods = fmt.Sprint(c.Modules)
 				regs = fmt.Sprint(c.Registers)
 			}
-			fmt.Fprintf(&b, "| %s | %s | %s | %s | %d | %.2f%% | %d | %d | %.0f |\n",
-				label, mux, mods, regs, c.Width, 100*c.Coverage, c.TGEffort, c.TestCycles, c.Area)
+			mark := ""
+			if c.Partial {
+				mark = " \\*"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %d | %.2f%%%s | %d | %d | %.0f |\n",
+				label, mux, mods, regs, c.Width, 100*c.Coverage, mark, c.TGEffort, c.TestCycles, c.Area)
 		}
+	}
+	if n := t.partialCount(); n > 0 {
+		fmt.Fprintf(&b, "\n\\* %d partial cell(s): budget exhausted before completion; figures are best-so-far.\n", n)
 	}
 	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/etpn"
+	"repro/internal/exec"
 	"repro/internal/gates"
 )
 
@@ -17,7 +18,15 @@ import (
 //
 // In normal operation (bist_en low) the data path is unchanged; the
 // equivalence tests cover this.
+// GenerateBIST shares the rtl.generate panic boundary with
+// GenerateWithScan: internal builder panics come back as *exec.ExecError.
 func GenerateBIST(d *etpn.Design, width int, mode Mode, tpgRegs, misrRegs []int) (*Netlist, error) {
+	return exec.Guard1("rtl.generate", -1, func() (*Netlist, error) {
+		return generateBIST(d, width, mode, tpgRegs, misrRegs)
+	})
+}
+
+func generateBIST(d *etpn.Design, width int, mode Mode, tpgRegs, misrRegs []int) (*Netlist, error) {
 	seen := map[int]string{}
 	for _, r := range tpgRegs {
 		if r < 0 || r >= len(d.Alloc.Regs) {

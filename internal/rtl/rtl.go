@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dfg"
 	"repro/internal/etpn"
+	"repro/internal/exec"
 	"repro/internal/gates"
 )
 
@@ -80,7 +81,17 @@ func Generate(d *etpn.Design, width int, mode Mode) (*Netlist, error) {
 // scan_en primary input switches every scanned flip-flop's D between its
 // functional source and the previous chain bit, scan_in feeds the head,
 // and scan_out observes the tail. Partial scan per package scan.
+// GenerateWithScan is a public library boundary: an internal panic while
+// building the netlist (malformed designs can violate builder invariants)
+// is recovered and returned as an *exec.ExecError rather than unwinding
+// into the caller.
 func GenerateWithScan(d *etpn.Design, width int, mode Mode, scanRegs []int) (*Netlist, error) {
+	return exec.Guard1("rtl.generate", -1, func() (*Netlist, error) {
+		return generateWithScan(d, width, mode, scanRegs)
+	})
+}
+
+func generateWithScan(d *etpn.Design, width int, mode Mode, scanRegs []int) (*Netlist, error) {
 	nl, err := generateCaptured(d, width, mode, scanRegs, func(b *gates.Builder, regBus []gates.Word, funcD []gates.Word) error {
 		if len(scanRegs) == 0 {
 			return nil
