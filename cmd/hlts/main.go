@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	hlts "repro"
+	"repro/internal/chaos"
 	"repro/internal/stats"
 	"repro/internal/testability"
 )
@@ -44,8 +45,20 @@ func main() {
 		tstab   = flag.Bool("testability", false, "print the per-node testability analysis")
 		stFlg   = flag.Bool("stats", false, "print synthesis cache/stage statistics after the run")
 		timeout = flag.Duration("timeout", 0, "overall budget; when it expires, synthesis and ATPG return their best-so-far results marked partial (0 = no limit)")
+		valFlg  = flag.Bool("validate", false, "run the structural invariant checkers on every intermediate artifact (design, netlist)")
+		chaosFl = flag.String("chaos", "", "fault-injection spec, a recovery-path test hook: seed=N;site=action[:prob];... (see internal/chaos)")
 	)
 	flag.Parse()
+
+	if *chaosFl != "" {
+		in, err := chaos.Parse(*chaosFl)
+		if err != nil {
+			fatal(err)
+		}
+		restore := chaos.Install(in)
+		defer restore()
+		defer func() { fmt.Fprintf(os.Stderr, "hlts: chaos fired %d injected faults\n", in.FiredTotal()) }()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -70,6 +83,7 @@ func main() {
 	par.Slack = *slack
 	par.LoopSignal = *loopSig
 	par.Workers = *workers
+	par.Validate = *valFlg
 	if *stFlg {
 		par.Stats = stats.New()
 	}
@@ -114,6 +128,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *valFlg {
+			if err := hlts.ValidateNetlist(n); err != nil {
+				fatal(err)
+			}
+		}
 		if err := os.WriteFile(*verilog, []byte(n.Verilog(g.Name)), 0o644); err != nil {
 			fatal(err)
 		}
@@ -130,6 +149,11 @@ func main() {
 		n, err := hlts.GenerateNetlistWithScan(res, *width, false, scanRegs)
 		if err != nil {
 			fatal(err)
+		}
+		if *valFlg {
+			if err := hlts.ValidateNetlist(n); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("\ngate-level: %s\n", n.C.Stats())
 		cfg := hlts.DefaultATPGConfig(*seed)

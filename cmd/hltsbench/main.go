@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/atpg"
+	"repro/internal/chaos"
 	"repro/internal/dfg"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -48,8 +49,20 @@ func main() {
 		statsFlg = flag.Bool("stats", false, "print synthesis cache/stage statistics after the run")
 		timeout  = flag.Duration("timeout", 0, "overall budget; when it expires, in-flight cells finish with their best-so-far figures, marked *partial in the table (0 = no limit)")
 		resume   = flag.String("resume", "", "checkpoint journal path: completed cells are recorded there and skipped when the same sweep is rerun (a killed run resumes where it stopped)")
+		valFlg   = flag.Bool("validate", false, "run the structural invariant checkers on every cell's design and netlist")
+		chaosFl  = flag.String("chaos", "", "fault-injection spec, a recovery-path test hook: seed=N;site=action[:prob];... (see internal/chaos)")
 	)
 	flag.Parse()
+
+	if *chaosFl != "" {
+		in, err := chaos.Parse(*chaosFl)
+		if err != nil {
+			fatal(err)
+		}
+		restore := chaos.Install(in)
+		defer restore()
+		defer func() { fmt.Fprintf(os.Stderr, "hltsbench: chaos fired %d injected faults\n", in.FiredTotal()) }()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -66,6 +79,7 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.Workers = *workers
 	cfg.Stats = st
+	cfg.Validate = *valFlg
 	var ws []int
 	for _, f := range strings.Split(*widths, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(f))

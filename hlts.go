@@ -38,6 +38,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rtl"
 	"repro/internal/scan"
+	"repro/internal/validate"
 )
 
 // Re-exported types: the facade's vocabulary.
@@ -68,6 +69,11 @@ type (
 	// completed table cell is appended to a JSON-lines file, and a config
 	// carrying the journal skips cells already recorded.
 	Checkpoint = report.Journal
+	// ValidationError is a violated structural invariant reported by the
+	// stage-boundary checkers (Params.Validate / ExperimentConfig.Validate):
+	// which stage produced the artifact, which invariant failed, and the
+	// specifics. See internal/validate.
+	ValidationError = validate.Error
 )
 
 // Result statuses.
@@ -229,3 +235,15 @@ func ReproduceTableCtx(ctx context.Context, bench string, cfg ExperimentConfig) 
 // completed cells are recorded as they finish and skipped on the next
 // run. See cmd/hltsbench's -resume flag.
 func OpenCheckpoint(path string) (*Checkpoint, error) { return report.OpenJournal(path) }
+
+// ValidateDesign runs the structural invariant checkers on a synthesized
+// design: arc discipline of the data path, schedule range, allocation
+// ownership, disjoint-lifetime register sharing, and the control part. It
+// is the check Params.Validate runs automatically at the end of every
+// flow; exposed for callers that build or mutate designs themselves.
+func ValidateDesign(r *Result) error { return validate.Design(r.Design) }
+
+// ValidateNetlist runs the structural invariant checkers on a generated
+// netlist: gate-graph sanity, combinational acyclicity, data-bus wiring
+// and — when a scan chain is present — scan-chain completeness and order.
+func ValidateNetlist(n *Netlist) error { return validate.Netlist(n) }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/gates"
@@ -349,8 +350,16 @@ func RunCtx(ctx context.Context, c *gates.Circuit, cfg Config) (*Result, error) 
 					return nil
 				}
 				if o.cut {
+					// A cut search means a budget expired mid-campaign (deadline,
+					// or an injected exhaustion): the fault was skipped, so the
+					// result must land StatusPartial even if the context recovers
+					// before the run ends — Skipped > 0 with StatusComplete would
+					// overstate the campaign.
 					res.Outcomes[i] = OutcomeSkipped
 					res.Skipped++
+					if exhausted == "" {
+						exhausted = exec.BudgetDeadline
+					}
 					return nil
 				}
 				detImpl += o.impl
@@ -442,9 +451,18 @@ func searchFault(ctx context.Context, c *gates.Circuit, f fault.Fault, i int, cf
 	if cfg.testHookSearch != nil {
 		cfg.testHookSearch(i)
 	}
+	// Chaos: the fault site runs under the caller's per-fault guard, so an
+	// injected panic becomes an OutcomePanicked entry; an injected error
+	// surfaces through the campaign's ordinary error path.
+	if err := chaos.Step(chaos.SiteATPGFault); err != nil {
+		out.err = err
+		return out
+	}
 	for _, frames := range frameSchedule {
 		for restart := 0; restart <= cfg.Restarts; restart++ {
-			if ctx.Err() != nil {
+			// The budget chaos site simulates the search budget expiring at a
+			// restart boundary, riding the same cut path as a real deadline.
+			if ctx.Err() != nil || chaos.Step(chaos.SiteATPGBudget) != nil {
 				out.cut = true
 				return out
 			}

@@ -3,9 +3,11 @@ package atpg
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/dfg"
 	"repro/internal/exec"
@@ -330,4 +332,39 @@ func TestOutcomeString(t *testing.T) {
 	if s := Outcome(200).String(); !strings.HasPrefix(s, "Outcome(") {
 		t.Errorf("unknown outcome renders %q", s)
 	}
+}
+
+// TestCampaignLeavesNoGoroutines: the campaign's random-phase and PODEM
+// pools must be fully reaped when RunCtx returns — on clean completion
+// and on cancellation alike.
+func TestCampaignLeavesNoGoroutines(t *testing.T) {
+	c := pipelineCircuit(t)
+	settle := func(name string, baseline int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= baseline {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Errorf("%s: goroutines leaked: %d before, %d after", name, baseline, runtime.NumGoroutine())
+	}
+
+	base := runtime.NumGoroutine()
+	cfg := DefaultConfig(5)
+	cfg.Workers = 8
+	cfg.RandomBatches = 1
+	cfg.Restarts = 1
+	if _, err := Run(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	settle("clean run", base)
+
+	base = runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	settle("cancelled run", base)
 }

@@ -1,0 +1,498 @@
+// The chaos sweep: every injection site × seeds × worker counts, driven
+// against small real workloads of each subsystem, asserting the global
+// robustness contracts of the execution layer:
+//
+//   - no injected panic ever escapes a library boundary,
+//   - no run deadlocks and no goroutine leaks,
+//   - every surfaced error is typed (*chaos.Error, or an *exec.ExecError
+//     wrapping the injected panic, or a context error),
+//   - ordered pipelines always commit a clean prefix,
+//   - partial results stay internally consistent (Skipped > 0 implies
+//     StatusPartial),
+//   - stall-only injection never changes any result, and
+//   - the checkpoint journal resumes byte-identically under injected
+//     write/sync/torn faults.
+//
+// It lives in an external test package so it can drive the real
+// parallel/atpg/petri/report code paths without an import cycle.
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/chaos"
+	"repro/internal/dfg"
+	"repro/internal/exec"
+	"repro/internal/gates"
+	"repro/internal/parallel"
+	"repro/internal/petri"
+	"repro/internal/report"
+)
+
+// The sweep's partition of the site space; TestSweepSiteListsCoverAllSites
+// proves the union is the whole taxonomy.
+var (
+	parallelSites = []string{
+		chaos.SiteParallelClaim, chaos.SiteParallelStall, chaos.SiteParallelJob,
+		chaos.SiteParallelProduce, chaos.SiteParallelCommit, chaos.SiteExecGuard,
+	}
+	atpgSites    = []string{chaos.SiteATPGFault, chaos.SiteATPGBudget}
+	petriSites   = []string{chaos.SitePetriReach}
+	journalSites = []string{chaos.SiteJournalWrite, chaos.SiteJournalSync, chaos.SiteJournalTorn}
+
+	sweepSeeds   = []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	sweepWorkers = []int{1, 8}
+)
+
+func TestSweepSiteListsCoverAllSites(t *testing.T) {
+	union := map[string]bool{}
+	for _, list := range [][]string{parallelSites, atpgSites, petriSites, journalSites} {
+		for _, s := range list {
+			union[s] = true
+		}
+	}
+	for _, s := range chaos.Sites() {
+		if !union[s] {
+			t.Errorf("site %s is not exercised by the sweep", s)
+		}
+	}
+	if len(union) != len(chaos.Sites()) {
+		t.Errorf("sweep lists %d sites, taxonomy has %d", len(union), len(chaos.Sites()))
+	}
+}
+
+// runGuarded runs fn under a deadlock watchdog and an escaped-panic trap.
+func runGuarded(t *testing.T, name string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: panic escaped the library boundary: %v", name, r)
+			}
+		}()
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("%s: deadlock (no completion in 90s)\n%s", name, buf[:n])
+	}
+}
+
+// settle asserts the goroutine count returns to the baseline — the
+// no-leak contract. A small grace window absorbs runtime bookkeeping.
+func settle(t *testing.T, name string, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("%s: goroutines leaked (%d > baseline %d)\n%s", name, runtime.NumGoroutine(), base, buf[:n])
+}
+
+// assertTyped enforces the every-error-typed contract.
+func assertTyped(t *testing.T, name string, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	if chaos.IsInjected(err) {
+		return
+	}
+	if ee, ok := exec.AsExecError(err); ok {
+		if chaos.IsPanicValue(ee.Value) {
+			return
+		}
+		t.Fatalf("%s: ExecError wrapping a non-chaos panic: %v", name, ee)
+	}
+	t.Fatalf("%s: untyped error surfaced: %v", name, err)
+}
+
+// siteRules returns the fault actions worth injecting at a site.
+func siteRules(site string) []chaos.Rule {
+	if site == chaos.SiteParallelStall {
+		return []chaos.Rule{{Action: chaos.ActStall, Prob: 0.4, Stall: 100 * time.Microsecond}}
+	}
+	return []chaos.Rule{
+		{Action: chaos.ActPanic, Prob: 0.4},
+		{Action: chaos.ActError, Prob: 0.4},
+	}
+}
+
+// TestChaosSweepParallel drives the worker-pool primitives under
+// injection at every pool/guard site.
+func TestChaosSweepParallel(t *testing.T) {
+	const n = 60
+	for _, site := range parallelSites {
+		for _, rule := range siteRules(site) {
+			for _, seed := range sweepSeeds {
+				for _, workers := range sweepWorkers {
+					name := fmt.Sprintf("%s/%s/seed%d/w%d", site, rule.Action, seed, workers)
+					in := chaos.New(seed).On(site, rule)
+					restore := chaos.Install(in)
+					base := runtime.NumGoroutine()
+					runGuarded(t, name+"/foreach", func() {
+						var sum atomic.Int64
+						err := parallel.ForEachCtx(context.Background(), workers, n, func(i int) error {
+							sum.Add(int64(i))
+							return nil
+						})
+						assertTyped(t, name+"/foreach", err)
+						if rule.Action != chaos.ActStall && in.Fired(site) > 0 && err == nil {
+							t.Errorf("%s/foreach: %d faults fired but no error surfaced", name, in.Fired(site))
+						}
+					})
+					runGuarded(t, name+"/ordered", func() {
+						var committed []int
+						err := parallel.OrderedCtx(context.Background(), workers, n,
+							func(i int) (int, error) { return i * i, nil },
+							func(i, v int) error {
+								if v != i*i {
+									t.Errorf("%s/ordered: commit %d got %d", name, i, v)
+								}
+								committed = append(committed, i)
+								return nil
+							})
+						assertTyped(t, name+"/ordered", err)
+						// The prefix contract: whatever was committed is exactly
+						// 0..k-1 in order.
+						for k, idx := range committed {
+							if idx != k {
+								t.Fatalf("%s/ordered: commit sequence %v is not a clean prefix", name, committed)
+							}
+						}
+						if err == nil && len(committed) != n {
+							t.Errorf("%s/ordered: clean run committed %d of %d", name, len(committed), n)
+						}
+					})
+					settle(t, name, base)
+					restore()
+				}
+			}
+		}
+	}
+}
+
+// TestChaosStallOnlyPreservesResults: a wedged worker may slow a run down
+// but must never change its observable result.
+func TestChaosStallOnlyPreservesResults(t *testing.T) {
+	const n = 40
+	run := func() (int64, []int) {
+		var sum atomic.Int64
+		if err := parallel.ForEach(4, n, func(i int) error {
+			sum.Add(int64(i * i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var order []int
+		if err := parallel.Ordered(4, n,
+			func(i int) (int, error) { return i, nil },
+			func(i, v int) error { order = append(order, v); return nil },
+		); err != nil {
+			t.Fatal(err)
+		}
+		return sum.Load(), order
+	}
+	wantSum, wantOrder := run()
+	for _, seed := range sweepSeeds[:4] {
+		restore := chaos.Install(chaos.New(seed).
+			On(chaos.SiteParallelStall, chaos.Rule{Action: chaos.ActStall, Prob: 0.5, Stall: 50 * time.Microsecond}))
+		gotSum, gotOrder := run()
+		restore()
+		if gotSum != wantSum {
+			t.Errorf("seed %d: stall changed ForEach result: %d != %d", seed, gotSum, wantSum)
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: stall changed Ordered commit count", seed)
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: stall changed Ordered commit order", seed)
+			}
+		}
+	}
+}
+
+// sweepCircuit is a small sequential circuit with enough faults to give
+// the campaign real work at chaos-sweep speed.
+func sweepCircuit(t *testing.T) *gates.Circuit {
+	t.Helper()
+	b := gates.NewBuilder()
+	var ins [4]int
+	for i := range ins {
+		ins[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+	d1, d2 := b.DFF("d1"), b.DFF("d2")
+	x := b.Xor(b.And(ins[0], ins[1]), d1)
+	y := b.Or(b.Xor(ins[2], ins[3]), d2)
+	b.SetD(d1, y)
+	b.SetD(d2, x)
+	b.Output("o1", b.And(x, y))
+	b.Output("o2", b.Xor(x, d2))
+	c, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sweepATPGConfig(seed int64, workers int) atpg.Config {
+	cfg := atpg.DefaultConfig(seed)
+	cfg.RandomBatches = 1
+	cfg.SeqLen = 8
+	cfg.MaxFrames = 8
+	cfg.BacktrackLimit = 50
+	cfg.Restarts = 1
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestChaosSweepATPG injects per-fault panics and mid-batch budget
+// exhaustion into the campaign and checks the partial-result bookkeeping
+// stays consistent.
+func TestChaosSweepATPG(t *testing.T) {
+	c := sweepCircuit(t)
+	for _, site := range atpgSites {
+		for _, rule := range siteRules(site) {
+			for _, seed := range sweepSeeds {
+				for _, workers := range sweepWorkers {
+					name := fmt.Sprintf("%s/%s/seed%d/w%d", site, rule.Action, seed, workers)
+					in := chaos.New(seed).On(site, rule)
+					restore := chaos.Install(in)
+					base := runtime.NumGoroutine()
+					runGuarded(t, name, func() {
+						res, err := atpg.RunCtx(context.Background(), c, sweepATPGConfig(seed, workers))
+						assertTyped(t, name, err)
+						if err != nil {
+							return
+						}
+						panicked := 0
+						for _, o := range res.Outcomes {
+							if o == atpg.OutcomePanicked {
+								panicked++
+							}
+						}
+						if panicked != len(res.Errors) {
+							t.Errorf("%s: %d panicked outcomes but %d recorded errors", name, panicked, len(res.Errors))
+						}
+						if (res.Skipped > 0 || panicked > 0) && res.Status != exec.StatusPartial {
+							t.Errorf("%s: skipped=%d panicked=%d but status %v", name, res.Skipped, panicked, res.Status)
+						}
+						if res.Status == exec.StatusPartial && res.Exhausted == "" {
+							t.Errorf("%s: partial result with no exhausted budget", name)
+						}
+					})
+					settle(t, name, base)
+					restore()
+				}
+			}
+		}
+	}
+}
+
+// TestChaosPetriReachPartial: injected node-budget exhaustion must come
+// back as a first-class partial reach set, never an error, and the
+// explored prefix must be a prefix of the complete exploration.
+func TestChaosPetriReachPartial(t *testing.T) {
+	net, _ := petri.Chain("sweep", 50)
+	full, err := net.Reachability(context.Background(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != exec.StatusComplete || len(full.Nodes) != 50 {
+		t.Fatalf("clean exploration: status %v, %d nodes", full.Status, len(full.Nodes))
+	}
+	for _, seed := range sweepSeeds {
+		in := chaos.New(seed).On(chaos.SitePetriReach, chaos.Rule{Action: chaos.ActError, Prob: 0.1})
+		restore := chaos.Install(in)
+		r, err := net.Reachability(context.Background(), 10_000)
+		fired := in.Fired(chaos.SitePetriReach)
+		restore()
+		if err != nil {
+			t.Fatalf("seed %d: injected budget exhaustion surfaced as error: %v", seed, err)
+		}
+		if fired == 0 {
+			continue
+		}
+		if r.Status != exec.StatusPartial || r.Exhausted != exec.BudgetReachNodes {
+			t.Fatalf("seed %d: fired %d but status %v/%q", seed, fired, r.Status, r.Exhausted)
+		}
+		if len(r.Nodes) > len(full.Nodes) {
+			t.Fatalf("seed %d: partial set larger than complete set", seed)
+		}
+		for i, nd := range r.Nodes {
+			if nd.Key != full.Nodes[i].Key {
+				t.Fatalf("seed %d: partial node %d diverges from the complete exploration", seed, i)
+			}
+		}
+	}
+	// The bound-erroring wrapper keeps its contract under injection too.
+	restore := chaos.Install(chaos.New(1).On(chaos.SitePetriReach, chaos.Rule{Action: chaos.ActError}))
+	defer restore()
+	if _, err := net.ReachabilityGraph(10_000); err == nil {
+		t.Fatal("ReachabilityGraph returned nil error for a partial exploration")
+	}
+}
+
+// TestChaosJournalFaults drives Record through write failures, fsync
+// failures and torn writes, and proves the journal heals: reopening skips
+// the torn fragment, un-recorded cells record cleanly afterwards, and no
+// cell is ever lost once Record returned nil.
+func TestChaosJournalFaults(t *testing.T) {
+	methods := []string{"camad", "approach1", "approach2", "ours"}
+	mkCell := func(m string, w int) report.Cell {
+		return report.Cell{Method: m, Width: w, Coverage: 0.5, Gates: w * 10}
+	}
+	for _, site := range journalSites {
+		for _, seed := range sweepSeeds {
+			name := fmt.Sprintf("%s/seed%d", site, seed)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "sweep.ckpt")
+			j, err := report.OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			action := chaos.ActError
+			if site == chaos.SiteJournalTorn {
+				action = chaos.ActTorn
+			}
+			in := chaos.New(seed).On(site, chaos.Rule{Action: action, Prob: 0.5})
+			restore := chaos.Install(in)
+			recorded := map[string]bool{}
+			for _, m := range methods {
+				for _, w := range []int{4, 8} {
+					err := j.Record("bench", mkCell(m, w))
+					assertTyped(t, name, err)
+					if err == nil {
+						recorded[fmt.Sprintf("%s/%d", m, w)] = true
+					}
+				}
+			}
+			restore()
+			j.Close()
+
+			// Reopen: everything Record acknowledged must be there; torn
+			// fragments are healed. Then the failed cells re-record cleanly.
+			j2, err := report.OpenJournal(path)
+			if err != nil {
+				t.Fatalf("%s: reopen after faults: %v", name, err)
+			}
+			for key := range recorded {
+				var m string
+				var w int
+				fmt.Sscanf(key, "%s", &m) // key is "method/width"
+				parts := strings.SplitN(key, "/", 2)
+				m = parts[0]
+				fmt.Sscanf(parts[1], "%d", &w)
+				if _, ok := j2.Lookup("bench", m, w); !ok {
+					t.Errorf("%s: acknowledged cell %s lost across reopen", name, key)
+				}
+			}
+			for _, m := range methods {
+				for _, w := range []int{4, 8} {
+					if err := j2.Record("bench", mkCell(m, w)); err != nil {
+						t.Errorf("%s: clean re-record of %s/%d failed: %v", name, m, w, err)
+					}
+				}
+			}
+			if j2.Len() != len(methods)*2 {
+				t.Errorf("%s: journal holds %d cells, want %d", name, j2.Len(), len(methods)*2)
+			}
+			j2.Close()
+		}
+	}
+}
+
+// checkpointConfig mirrors the fast table configuration of the report
+// package's resume tests.
+func checkpointConfig(workers, par int) report.Config {
+	cfg := report.DefaultConfig(21)
+	cfg.Widths = []int{4}
+	cfg.ATPGFor = func(width int) atpg.Config {
+		c := atpg.DefaultConfig(21 + int64(width))
+		c.SampleFaults = 120
+		c.RandomBatches = 1
+		c.Restarts = 1
+		return c
+	}
+	cfg.Workers = workers
+	cfg.Parallel = par
+	return cfg
+}
+
+// TestChaosJournalResumeByteIdentical is the acceptance criterion: a
+// sweep whose journal writes are being torn by injection behaves like a
+// killed run — and resuming from that journal, faults gone, renders the
+// table byte-identically to an uninterrupted run.
+func TestChaosJournalResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table runs are too slow for -short")
+	}
+	const bench = dfg.BenchEx
+	ref, err := report.RunTable(bench, checkpointConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refText, refMd := ref.Render(), ref.Markdown()
+
+	for _, seed := range []int64{3, 11} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "chaos.ckpt")
+		j, err := report.OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := checkpointConfig(1, 1)
+		cfg.Journal = j
+		in := chaos.New(seed).On(chaos.SiteJournalTorn, chaos.Rule{Action: chaos.ActTorn, Prob: 0.5})
+		restore := chaos.Install(in)
+		_, runErr := report.RunTable(bench, cfg)
+		fired := in.Fired(chaos.SiteJournalTorn)
+		restore()
+		j.Close()
+		assertTyped(t, fmt.Sprintf("seed%d", seed), runErr)
+		if fired == 0 {
+			t.Fatalf("seed %d: torn-write injection never fired", seed)
+		}
+
+		// "Reboot": reopen the journal (healing any torn tail) and rerun
+		// without faults.
+		j2, err := report.OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg2 := checkpointConfig(1, 1)
+		cfg2.Journal = j2
+		tbl, err := report.RunTable(bench, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		if got := tbl.Render(); got != refText {
+			t.Errorf("seed %d: resumed table differs from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s", seed, got, refText)
+		}
+		if got := tbl.Markdown(); got != refMd {
+			t.Errorf("seed %d: resumed markdown differs from uninterrupted run", seed)
+		}
+	}
+	_ = os.Remove
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/testability"
+	"repro/internal/validate"
 )
 
 // SelectionPolicy chooses how candidate merge pairs are ranked.
@@ -119,6 +120,13 @@ type Params struct {
 	// either way.
 	NoCache bool
 	NoPrune bool
+	// Validate runs the structural invariant checkers of internal/validate
+	// at the stage boundaries: on the behaviour graph and initial design
+	// before the merger loop, and on the finished design of every flow. A
+	// violation surfaces as a typed *validate.Error instead of a
+	// downstream panic or a silently wrong figure. Costs one linear pass
+	// per checked artifact.
+	Validate bool
 }
 
 // DefaultParams returns the parameter set (k,α,β) = (3,2,1) the paper uses
@@ -266,6 +274,11 @@ func (st *state) clone() *state {
 func initialState(g *dfg.Graph, par Params, cache *evalCache) (*state, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	if par.Validate {
+		if err := validate.Graph(g); err != nil {
+			return nil, err
+		}
 	}
 	prob := sched.NewProblem(g)
 	s, err := prob.ASAP()
@@ -731,6 +744,14 @@ func (st *state) deltaHLowerBound(c candidate) float64 {
 func (st *state) finish(method string, trace []string) (*Result, error) {
 	if err := st.build(); err != nil {
 		return nil, err
+	}
+	// Every synthesis flow — ours and the three baselines — funnels its
+	// final design through here, so this is the single validation boundary
+	// for finished designs.
+	if st.par.Validate {
+		if err := validate.Design(st.d); err != nil {
+			return nil, err
+		}
 	}
 	return &Result{
 		Method:   method,

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"repro/internal/chaos"
 )
 
 // ExecError is a recovered panic, structured for diagnosis: which
@@ -62,13 +64,18 @@ func AsExecError(err error) (*ExecError, bool) {
 // Guard runs fn and converts a panic into an *ExecError carrying the
 // given stage and job index. It is the single recovery point of the
 // execution layer: worker pools and library entry points route their
-// bodies through it (or through Guard1).
+// bodies through it (or through Guard1). The chaos site fires inside the
+// recovery scope, so an injected guard-boundary panic exercises exactly
+// the conversion path a real one would.
 func Guard(stage string, index int, fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = &ExecError{Stage: stage, Index: index, Value: r, Stack: debug.Stack()}
+			err = Recovered(stage, index, r)
 		}
 	}()
+	if err := chaos.Step(chaos.SiteExecGuard); err != nil {
+		return err
+	}
 	return fn()
 }
 
@@ -79,10 +86,22 @@ func Guard1[T any](stage string, index int, fn func() (T, error)) (out T, err er
 		if r := recover(); r != nil {
 			var zero T
 			out = zero
-			err = &ExecError{Stage: stage, Index: index, Value: r, Stack: debug.Stack()}
+			err = Recovered(stage, index, r)
 		}
 	}()
+	if err := chaos.Step(chaos.SiteExecGuard); err != nil {
+		var zero T
+		return zero, err
+	}
 	return fn()
+}
+
+// Recovered converts a recovered panic value into the *ExecError Guard
+// would have produced; it is the escape hatch for code that must place its
+// own recover (worker-goroutine last-resort recovery in internal/parallel,
+// where the panic site is outside any Guard scope).
+func Recovered(stage string, index int, r any) *ExecError {
+	return &ExecError{Stage: stage, Index: index, Value: r, Stack: debug.Stack()}
 }
 
 // Status classifies a pipeline result: complete, or degraded because a
@@ -123,6 +142,9 @@ const (
 	// BudgetPanic: a stage panicked and was isolated; see the recorded
 	// ExecErrors.
 	BudgetPanic = "panic"
+	// BudgetReachNodes: the Petri-net reachability node budget ran out and
+	// the reach set covers a prefix of the state space.
+	BudgetReachNodes = "reach-nodes"
 )
 
 // CtxExhausted maps a context's termination to a budget name, or ""

@@ -232,3 +232,83 @@ func TestForEachCtxDeadline(t *testing.T) {
 		t.Errorf("deadline did not stop the loop (%d jobs ran)", n)
 	}
 }
+
+// TestOrderedCtxDoubleCancel: cancellation arriving twice — once from
+// inside the commit callback and once from a concurrent goroutine — must
+// behave exactly like a single cancellation: clean prefix, ctx error, no
+// second-cancel panic, no leaked worker.
+func TestOrderedCtxDoubleCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		release := make(chan struct{})
+		go func() {
+			<-release
+			cancel() // the concurrent second cancel
+		}()
+		var committed []int
+		var err error
+		_, settled := samplePeakGoroutines(func() {
+			err = OrderedCtx(ctx, workers, 400,
+				func(i int) (int, error) { return i, nil },
+				func(i, v int) error {
+					committed = append(committed, i)
+					if i == 15 {
+						close(release)
+						cancel()
+					}
+					return nil
+				})
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		for i, c := range committed {
+			if c != i {
+				t.Fatalf("workers=%d: commit order broken at %d", workers, i)
+			}
+		}
+		if settled > before+2 {
+			t.Errorf("workers=%d: goroutines leaked: %d before, %d after", workers, before, settled)
+		}
+	}
+}
+
+// TestOrderedCtxDrainAfterError: when produce fails at an index, workers
+// speculating past it must all run to completion and exit — the commit
+// loop stops early, but nothing blocks and nothing leaks.
+func TestOrderedCtxDrainAfterError(t *testing.T) {
+	boom := errors.New("produce failed")
+	for _, workers := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		var produced atomic.Int32
+		var committed []int
+		var err error
+		_, settled := samplePeakGoroutines(func() {
+			err = OrderedCtx(context.Background(), workers, 120,
+				func(i int) (int, error) {
+					produced.Add(1)
+					if i == 30 {
+						return 0, boom
+					}
+					return i, nil
+				},
+				func(i, v int) error {
+					committed = append(committed, i)
+					return nil
+				})
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want the produce error", workers, err)
+		}
+		if len(committed) != 30 {
+			t.Errorf("workers=%d: %d commits, want exactly the prefix before the failure", workers, len(committed))
+		}
+		if p := produced.Load(); p < 31 {
+			t.Errorf("workers=%d: only %d produced; the failing index never ran?", workers, p)
+		}
+		if settled > before+2 {
+			t.Errorf("workers=%d: goroutines leaked after drain: %d before, %d after", workers, before, settled)
+		}
+	}
+}

@@ -26,14 +26,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/exec"
 )
 
 // Workers normalizes a worker-count knob: values below 1 mean "one worker
-// per available CPU" (runtime.GOMAXPROCS(0)).
+// per available CPU" (runtime.GOMAXPROCS(0)), and the result is always at
+// least 1 so no knob value can construct an empty pool.
 func Workers(n int) int {
 	if n < 1 {
-		return runtime.GOMAXPROCS(0)
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
 	}
 	return n
 }
@@ -46,13 +51,22 @@ func Workers(n int) int {
 // with it, the outer fan-out takes priority (it has the coarser, better-
 // balanced work) and the inner budget is whatever the budget has left —
 // inner is 1 whenever the outer layer can already keep every worker busy.
+// Both halves of the returned budget are clamped to at least 1, whatever
+// the inputs: a zero or negative flag value degrades to sequential
+// execution instead of an empty pool.
 func Split(workers, n int) (outer, inner int) {
 	w := Workers(workers)
 	outer = w
 	if n >= 1 && outer > n {
 		outer = n
 	}
+	if outer < 1 {
+		outer = 1
+	}
 	inner = w / outer
+	if inner < 1 {
+		inner = 1
+	}
 	return outer, inner
 }
 
@@ -107,10 +121,7 @@ func ForEachWorkerCtx[S any](ctx context.Context, workers, n int, setup func() (
 			return err
 		}
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := runJob(fn, s, i); err != nil {
+			if err := workOne(ctx, fn, s, i); err != nil {
 				return err
 			}
 		}
@@ -134,11 +145,7 @@ func ForEachWorkerCtx[S any](ctx context.Context, workers, n int, setup func() (
 				if i >= n {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				errs[i] = runJob(fn, s, i)
+				errs[i] = workOne(ctx, fn, s, i)
 			}
 		}(w)
 	}
@@ -156,11 +163,37 @@ func ForEachWorkerCtx[S any](ctx context.Context, workers, n int, setup func() (
 	return nil
 }
 
+// workOne is the per-claim body shared by the sequential and parallel
+// paths of ForEachWorkerCtx: chaos claim/stall sites, the cancellation
+// check, then the guarded job. The top-level recover is the worker
+// goroutine's last resort — a panic raised outside the per-job guard
+// (today only the injected claim-site panic can do that) still becomes a
+// typed error at index i instead of crashing the pool.
+func workOne[S any](ctx context.Context, fn func(s S, i int) error, s S, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.Recovered("parallel.worker", i, r)
+		}
+	}()
+	if err := claimStep(i); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return runJob(fn, s, i)
+}
+
 // runJob executes one job under panic isolation: a panic becomes an
 // *exec.ExecError carrying the job index, recovered on the worker before
 // it can unwind into the pool (or, on the sequential path, the caller).
 func runJob[S any](fn func(s S, i int) error, s S, i int) error {
-	return exec.Guard("parallel.job", i, func() error { return fn(s, i) })
+	return exec.Guard("parallel.job", i, func() error {
+		if err := chaos.Step(chaos.SiteParallelJob); err != nil {
+			return err
+		}
+		return fn(s, i)
+	})
 }
 
 // Ordered runs produce(i) for every i in [0, n) on up to `workers`
@@ -196,6 +229,9 @@ func OrderedCtx[T any](ctx context.Context, workers, n int, produce func(i int) 
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := claimStep(i); err != nil {
+				return err
+			}
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -227,12 +263,7 @@ func OrderedCtx[T any](ctx context.Context, workers, n int, produce func(i int) 
 				if i >= n {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-				} else if !stop.Load() {
-					results[i], errs[i] = runProduce(produce, i)
-				}
-				close(ready[i])
+				produceOne(ctx, produce, results, errs, ready, &stop, i)
 			}
 		}()
 	}
@@ -257,13 +288,66 @@ func OrderedCtx[T any](ctx context.Context, workers, n int, produce func(i int) 
 	return err
 }
 
+// produceOne runs one claimed index on a pool worker. The ordering of its
+// deferred calls is the liveness invariant of OrderedCtx: the recover runs
+// before close(ready[i]), so whatever happens on this index — an injected
+// claim-site panic included — errs[i] is populated and ready[i] is closed,
+// and the commit loop can never block forever on a claimed index.
+func produceOne[T any](ctx context.Context, produce func(i int) (T, error), results []T, errs []error, ready []chan struct{}, stop *atomic.Bool, i int) {
+	defer close(ready[i])
+	defer func() {
+		if r := recover(); r != nil {
+			errs[i] = exec.Recovered("parallel.worker", i, r)
+		}
+	}()
+	if err := claimStep(i); err != nil {
+		errs[i] = err
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		errs[i] = err
+	} else if !stop.Load() {
+		results[i], errs[i] = runProduce(produce, i)
+	}
+}
+
+// claimStep fires the claim/stall chaos sites for one claimed index. On
+// the sequential paths (no produceOne recover above it) an injected claim
+// panic is converted here, keeping the no-escaped-panic contract at every
+// worker count.
+func claimStep(i int) (err error) {
+	if chaos.Active() == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.Recovered("parallel.worker", i, r)
+		}
+	}()
+	if err := chaos.Step(chaos.SiteParallelClaim); err != nil {
+		return err
+	}
+	return chaos.Step(chaos.SiteParallelStall)
+}
+
 // runProduce and runCommit are the panic-isolation points of Ordered:
 // produce panics are recovered on the producing worker, commit panics on
 // the calling goroutine, both as *exec.ExecError with the job index.
 func runProduce[T any](produce func(i int) (T, error), i int) (T, error) {
-	return exec.Guard1("parallel.produce", i, func() (T, error) { return produce(i) })
+	return exec.Guard1("parallel.produce", i, func() (T, error) {
+		if err := chaos.Step(chaos.SiteParallelProduce); err != nil {
+			var zero T
+			return zero, err
+		}
+		return produce(i)
+	})
 }
 
 func runCommit[T any](commit func(i int, v T) error, i int, v T) error {
-	return exec.Guard("parallel.commit", i, func() error { return commit(i, v) })
+	return exec.Guard("parallel.commit", i, func() error {
+		if err := chaos.Step(chaos.SiteParallelCommit); err != nil {
+			return err
+		}
+		return commit(i, v)
+	})
 }

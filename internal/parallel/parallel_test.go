@@ -280,3 +280,26 @@ func TestSplitBudgetInvariant(t *testing.T) {
 		t.Errorf("Split(8, 2) = (%d, %d), want (2, 4)", outer, inner)
 	}
 }
+
+// TestSplitClampsDegenerateBudgets is the satellite regression for the
+// zero/negative clamp: no input, however hostile, may yield a layer
+// below 1 — a zero would turn downstream ForEach(outer*...) into a no-op
+// and silently skip work.
+func TestSplitClampsDegenerateBudgets(t *testing.T) {
+	cases := []struct{ workers, n int }{
+		{0, 0}, {0, -1}, {-1, 0}, {-8, -8},
+		{1, -5}, {-1000000, 3}, {3, -1000000},
+	}
+	for _, c := range cases {
+		outer, inner := Split(c.workers, c.n)
+		if outer < 1 || inner < 1 {
+			t.Errorf("Split(%d, %d) = (%d, %d); both layers must clamp to >= 1", c.workers, c.n, outer, inner)
+		}
+		if w := Workers(c.workers); outer*inner > w {
+			t.Errorf("Split(%d, %d) = (%d, %d) exceeds the normalized budget %d", c.workers, c.n, outer, inner, w)
+		}
+	}
+	if got := Workers(-1000000); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1000000) = %d, want GOMAXPROCS", got)
+	}
+}

@@ -141,3 +141,49 @@ func TestExecNormalPathUnaffected(t *testing.T) {
 		t.Fatalf("steps = %d, want 4", steps)
 	}
 }
+
+// TestReachabilityPartialOnBudget: the Reach-returning API makes budget
+// exhaustion a first-class partial outcome — no error, the discovered
+// prefix intact (including unexpanded frontier nodes), every edge index
+// valid within it — while a complete exploration reports StatusComplete.
+func TestReachabilityPartialOnBudget(t *testing.T) {
+	n, _ := Chain("chain", 30)
+	full, err := n.Reachability(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != exec.StatusComplete || full.Exhausted != "" {
+		t.Fatalf("complete exploration: status %v, exhausted %q", full.Status, full.Exhausted)
+	}
+	if len(full.Nodes) != 30 {
+		t.Fatalf("complete exploration found %d nodes, want 30", len(full.Nodes))
+	}
+
+	part, err := n.Reachability(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("budget exhaustion must be a partial result, not an error: %v", err)
+	}
+	if part.Status != exec.StatusPartial || part.Exhausted != exec.BudgetReachNodes {
+		t.Fatalf("partial exploration: status %v, exhausted %q", part.Status, part.Exhausted)
+	}
+	if len(part.Nodes) <= 10 || len(part.Nodes) >= 30 {
+		t.Fatalf("partial exploration returned %d nodes; want the discovered prefix just past the budget", len(part.Nodes))
+	}
+	for i, nd := range part.Nodes {
+		if nd.Key != full.Nodes[i].Key {
+			t.Fatalf("partial node %d is not a prefix of the complete exploration", i)
+		}
+		for _, e := range nd.Edges {
+			if e.To < 0 || e.To >= len(part.Nodes) {
+				t.Fatalf("partial node %d has edge to %d, outside the returned set of %d", i, e.To, len(part.Nodes))
+			}
+		}
+	}
+
+	// Cancellation still surfaces as an error, not a partial result.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Reachability(ctx, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Reachability: err = %v, want context.Canceled", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/exec"
 )
 
@@ -27,13 +28,33 @@ type ReachNode struct {
 	BackEdge map[int]bool
 }
 
+// Reach is the result of a bounded reachability exploration. When the
+// node budget runs out mid-exploration the computation no longer fails:
+// it returns the explored prefix with Status == exec.StatusPartial and
+// Exhausted naming the budget, so state explosion in a large control net
+// degrades a caller gracefully instead of aborting it (PAPER.md §ΔE runs
+// on the reachable-state structure, and a prefix still supports
+// best-effort analysis).
+type Reach struct {
+	// Nodes is the explored reachability graph. Under StatusPartial it is a
+	// breadth-consistent prefix: every node is genuinely reachable, but
+	// edges out of unexpanded frontier nodes are missing.
+	Nodes []*ReachNode
+	// Status is StatusComplete when the whole reachable set was explored.
+	Status exec.Status
+	// Exhausted names the spent budget (exec.BudgetReachNodes) under
+	// StatusPartial, "" otherwise.
+	Exhausted string
+}
+
 // ReachabilityGraph explores the markings reachable from the initial
 // marking under untimed interleaving semantics (guards are treated as free
 // choices, which over-approximates the timed behaviour). It represents the
 // paper's reachability tree with repeated markings shared; maxNodes bounds
 // the exploration. An error is returned if the bound is exceeded or the net
 // is not safe (a transition would produce a token into a marked place that
-// is not simultaneously consumed).
+// is not simultaneously consumed). Callers that prefer the explored prefix
+// over an error when the bound is hit use Reachability instead.
 func (n *Net) ReachabilityGraph(maxNodes int) ([]*ReachNode, error) {
 	return n.ReachabilityGraphCtx(context.Background(), maxNodes)
 }
@@ -43,12 +64,27 @@ func (n *Net) ReachabilityGraph(maxNodes int) ([]*ReachNode, error) {
 // exploration in time the way maxNodes bounds it in space. Like Exec, the
 // public boundary converts internal panics into *exec.ExecError values.
 func (n *Net) ReachabilityGraphCtx(ctx context.Context, maxNodes int) ([]*ReachNode, error) {
-	return exec.Guard1("petri.reach", -1, func() ([]*ReachNode, error) {
+	r, err := n.Reachability(ctx, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if r.Status == exec.StatusPartial {
+		return nil, fmt.Errorf("petri: reachability graph of %s exceeds %d markings", n.Name, maxNodes)
+	}
+	return r.Nodes, nil
+}
+
+// Reachability is the budget-graceful reachability exploration: exceeding
+// maxNodes is not an error but a first-class partial outcome carrying the
+// explored prefix. Errors are reserved for cancellation, unsafe nets and
+// recovered panics.
+func (n *Net) Reachability(ctx context.Context, maxNodes int) (*Reach, error) {
+	return exec.Guard1("petri.reach", -1, func() (*Reach, error) {
 		return n.reachabilityGraph(ctx, maxNodes)
 	})
 }
 
-func (n *Net) reachabilityGraph(ctx context.Context, maxNodes int) ([]*ReachNode, error) {
+func (n *Net) reachabilityGraph(ctx context.Context, maxNodes int) (*Reach, error) {
 	start := n.InitialMarking()
 	index := map[string]int{}
 	var nodes []*ReachNode
@@ -67,8 +103,14 @@ func (n *Net) reachabilityGraph(ctx context.Context, maxNodes int) ([]*ReachNode
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if len(nodes) > maxNodes {
-			return nil, fmt.Errorf("petri: reachability graph of %s exceeds %d markings", n.Name, maxNodes)
+		// The chaos site simulates the node budget running out at this
+		// expansion, exercising the same partial-prefix path.
+		if len(nodes) > maxNodes || chaos.Step(chaos.SitePetriReach) != nil {
+			return &Reach{
+				Nodes:     nodes,
+				Status:    exec.StatusPartial,
+				Exhausted: exec.BudgetReachNodes,
+			}, nil
 		}
 		cur := nodes[i]
 		for _, t := range n.transitions {
@@ -101,7 +143,7 @@ func (n *Net) reachabilityGraph(ctx context.Context, maxNodes int) ([]*ReachNode
 			}
 		}
 	}
-	return nodes, nil
+	return &Reach{Nodes: nodes, Status: exec.StatusComplete}, nil
 }
 
 // CriticalPath returns the worst-case number of control steps for a token

@@ -3,9 +3,14 @@ package report
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"syscall"
+
+	"repro/internal/chaos"
 )
 
 // Journal is the checkpoint file behind hltsbench -resume: a JSON-lines
@@ -23,6 +28,7 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	done map[string]Cell
+	torn bool // a failed write may have left a partial line on disk
 }
 
 // journalEntry is one checkpoint line.
@@ -68,9 +74,38 @@ func OpenJournal(path string) (*Journal, error) {
 				f.Close()
 				return nil, err
 			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
 		}
 	}
+	// Durability of the file itself: fsyncing the journal flushes its
+	// bytes, but a freshly created name lives in the directory, which has
+	// its own durability. Without this a crash immediately after
+	// OpenJournal can lose the whole file even though every Record synced.
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return j, nil
+}
+
+// syncDir fsyncs the parent directory of path, making a just-created (or
+// just-resealed) journal name durable. Filesystems that do not support
+// syncing a directory handle report EINVAL/ENOTSUP; those are ignored —
+// on such systems the directory sync is meaningless, not failed.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // Lookup returns the journaled cell for (bench, method, width), if any.
@@ -99,7 +134,36 @@ func (j *Journal) Record(bench string, c Cell) error {
 	if err != nil {
 		return err
 	}
+	// A write that failed earlier may have landed a prefix of its line (a
+	// short write). Seal the torn tail with a newline before this record,
+	// or the two lines merge into one unparseable line and this record —
+	// though acknowledged — is lost on reopen along with the fragment.
+	if j.torn {
+		if _, err := j.f.Write([]byte("\n")); err != nil {
+			return err
+		}
+		j.torn = false
+	}
+	// Chaos: a torn write puts a prefix of the record on disk with no
+	// newline — exactly what a kill mid-write leaves behind — then fails;
+	// the write site fails before any byte lands.
+	if cerr, fired := chaos.Fire(chaos.SiteJournalTorn); fired {
+		j.f.Write(line[:len(line)/2])
+		j.torn = true
+		return cerr
+	}
+	if err := chaos.Step(chaos.SiteJournalWrite); err != nil {
+		return err
+	}
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.torn = true
+		return err
+	}
+	// Chaos sync-failure: the bytes are in the file but durability was
+	// never confirmed, so the cell must not be marked done — it is
+	// recomputed, and the duplicate line is harmless (last line wins on
+	// reopen).
+	if err := chaos.Step(chaos.SiteJournalSync); err != nil {
 		return err
 	}
 	if err := j.f.Sync(); err != nil {

@@ -73,3 +73,21 @@ func TestSweepRespectsWorkerBudget(t *testing.T) {
 			peak, limit, baseline, workers)
 	}
 }
+
+// TestSweepLeavesNoGoroutines: after a sweep returns, every worker it
+// spawned must be gone — the pools are scoped to the call, not the
+// process.
+func TestSweepLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	if _, err := ParameterSweep(dfg.BenchEx, 4, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before the sweep, %d after", baseline, runtime.NumGoroutine())
+}
