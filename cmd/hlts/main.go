@@ -167,7 +167,7 @@ func main() {
 	}
 	if par.Stats != nil {
 		fmt.Println("\nsynthesis statistics:")
-		fmt.Print(par.Stats.String())
+		par.Stats.WriteText(os.Stdout)
 	}
 }
 

@@ -208,7 +208,7 @@ func main() {
 	}
 	if st != nil {
 		fmt.Println("--- Synthesis statistics ---")
-		fmt.Print(st.String())
+		st.WriteText(os.Stdout)
 	}
 }
 

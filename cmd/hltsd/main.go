@@ -1,0 +1,109 @@
+// Command hltsd is the synthesis-as-a-service daemon: it serves the
+// high-level test synthesis pipeline over an HTTP JSON API.
+//
+//	hltsd -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/synthesize      run one synthesis flow on a benchmark or VHDL body
+//	POST /v1/testdesign      synthesis + netlist + ATPG (+ optional scan/BIST)
+//	GET  /v1/table/{bench}   reproduce a full experiment table
+//	GET  /healthz            readiness (503 while draining)
+//	GET  /livez              liveness
+//	GET  /metrics            Prometheus text-format counters and histograms
+//
+// Jobs run on a bounded queue with admission control (429 + Retry-After
+// at capacity) and fingerprint coalescing: identical concurrent requests
+// share one computation and byte-identical responses. SIGINT/SIGTERM
+// starts a graceful drain — queued jobs finish (or land best-so-far
+// partial results when -drain-timeout expires) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		queue   = flag.Int("queue", 64, "job queue depth; beyond it requests are answered 429")
+		jobs    = flag.Int("jobs", 2, "jobs run concurrently")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "total worker-goroutine budget, divided between concurrent jobs and the parallelism inside each")
+		maxDL   = flag.Duration("max-deadline", 2*time.Minute, "per-job computation cap; requests may tighten it with deadline_ms but never exceed it")
+		drainTO = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; jobs still running when it expires land best-so-far partial results")
+		cacheSz = flag.Int("cache", 128, "result-cache capacity in entries (negative disables)")
+		valFlg  = flag.Bool("validate", false, "run the structural invariant checkers inside every job")
+		chaosFl = flag.String("chaos", "", "fault-injection spec, a recovery-path test hook: seed=N;site=action[:prob];... (see internal/chaos)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("hltsd: ")
+
+	if *chaosFl != "" {
+		in, err := chaos.Parse(*chaosFl)
+		if err != nil {
+			log.Fatalf("bad -chaos spec: %v", err)
+		}
+		restore := chaos.Install(in)
+		defer restore()
+		defer func() { log.Printf("chaos fired %d injected faults", in.FiredTotal()) }()
+	}
+
+	srv := server.New(server.Config{
+		QueueDepth:  *queue,
+		Jobs:        *jobs,
+		Workers:     *workers,
+		MaxDeadline: *maxDL,
+		CacheSize:   *cacheSz,
+		Validate:    *valFlg,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (queue %d, jobs %d, workers %d)", *addr, *queue, *jobs, *workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("%v: draining (timeout %v)", sig, *drainTO)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue: queued
+	// jobs finish, and when the deadline passes the remaining ones are
+	// cancelled so they land partial results instead of being lost.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain deadline expired; in-flight jobs degraded to partial results")
+		} else {
+			log.Printf("drain: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "hltsd: drained (degraded)")
+		os.Exit(0)
+	}
+	log.Printf("drained cleanly")
+}

@@ -82,6 +82,19 @@ const (
 	StatusPartial  = exec.StatusPartial
 )
 
+// Typed input errors. The front-end entry points (LoadBenchmark,
+// CompileVHDL) and every synthesis flow validate their inputs and reject
+// nonsense with one of these — matchable with errors.Is — instead of
+// failing deep inside synthesis. A Params carrying a bad width (e.g. from
+// DefaultParams(0)) is rejected the same way by Synthesize / RunMethod.
+var (
+	// ErrBadWidth: the data-path bit width is outside [1, 64].
+	ErrBadWidth = dfg.ErrBadWidth
+	// ErrUnknownBenchmark: LoadBenchmark was given a name Benchmarks()
+	// does not list.
+	ErrUnknownBenchmark = dfg.ErrUnknownBenchmark
+)
+
 // Synthesis method names (the rows of the paper's tables).
 const (
 	MethodCAMAD     = core.MethodCAMAD
@@ -188,6 +201,14 @@ func GenerateNetlistWithBIST(r *Result, width int, tpg, misr []int) (*Netlist, e
 // signature differs from the good machine's.
 func RunBIST(n *Netlist, sampleFaults, cycles int) (*atpg.BISTOutcome, error) {
 	return atpg.RunBIST(n.C, sampleFaults, cycles)
+}
+
+// RunBISTCtx is RunBIST under a context: on cancellation or deadline the
+// session stops at the next fault boundary and reports the coverage over
+// the faults evaluated so far with Status == StatusPartial, like every
+// other cancellable job in the system.
+func RunBISTCtx(ctx context.Context, n *Netlist, sampleFaults, cycles int) (*atpg.BISTOutcome, error) {
+	return atpg.RunBISTCtx(ctx, n.C, sampleFaults, cycles)
 }
 
 // DefaultATPGConfig returns the campaign settings used by the experiment

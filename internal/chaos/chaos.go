@@ -123,6 +123,15 @@ const (
 	SiteJournalWrite = "report.journal.write"
 	SiteJournalSync  = "report.journal.sync"
 	SiteJournalTorn  = "report.journal.torn"
+	// SiteServerAccept, SiteServerEnqueue and SiteServerRespond fire in
+	// the serving layer (internal/server): at request admission, just
+	// before a job is pushed onto the bounded queue, and just before the
+	// response body is written. An injected fault must surface to the
+	// client as a typed 5xx — never a crashed daemon or a wedged
+	// connection.
+	SiteServerAccept  = "server.accept"
+	SiteServerEnqueue = "server.enqueue"
+	SiteServerRespond = "server.respond"
 )
 
 // Sites lists every named injection site, sorted; the chaos sweep and the
@@ -135,6 +144,7 @@ func Sites() []string {
 		SiteATPGFault, SiteATPGBudget,
 		SitePetriReach,
 		SiteJournalWrite, SiteJournalSync, SiteJournalTorn,
+		SiteServerAccept, SiteServerEnqueue, SiteServerRespond,
 	}
 	sort.Strings(s)
 	return s

@@ -19,7 +19,11 @@ package chaos_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,6 +40,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/petri"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 // The sweep's partition of the site space; TestSweepSiteListsCoverAllSites
@@ -48,6 +53,7 @@ var (
 	atpgSites    = []string{chaos.SiteATPGFault, chaos.SiteATPGBudget}
 	petriSites   = []string{chaos.SitePetriReach}
 	journalSites = []string{chaos.SiteJournalWrite, chaos.SiteJournalSync, chaos.SiteJournalTorn}
+	serverSites  = []string{chaos.SiteServerAccept, chaos.SiteServerEnqueue, chaos.SiteServerRespond}
 
 	sweepSeeds   = []int64{1, 2, 3, 5, 8, 13, 21, 34}
 	sweepWorkers = []int{1, 8}
@@ -55,7 +61,7 @@ var (
 
 func TestSweepSiteListsCoverAllSites(t *testing.T) {
 	union := map[string]bool{}
-	for _, list := range [][]string{parallelSites, atpgSites, petriSites, journalSites} {
+	for _, list := range [][]string{parallelSites, atpgSites, petriSites, journalSites, serverSites} {
 		for _, s := range list {
 			union[s] = true
 		}
@@ -418,6 +424,69 @@ func TestChaosJournalFaults(t *testing.T) {
 				t.Errorf("%s: journal holds %d cells, want %d", name, j2.Len(), len(methods)*2)
 			}
 			j2.Close()
+		}
+	}
+}
+
+// TestChaosSweepServer drives the daemon's serving layer under injection
+// at the accept, enqueue and respond sites: every response must still be
+// well-formed JSON with a sane status code (an injected error is a typed
+// 5xx, an injected panic is recovered to a 500 — never a crashed daemon
+// or a torn body), and the server must still drain cleanly, leaking no
+// goroutines.
+func TestChaosSweepServer(t *testing.T) {
+	body := `{"bench":"ex","width":4}` + "\n"
+	for _, site := range serverSites {
+		for _, rule := range []chaos.Rule{
+			{Action: chaos.ActError, Prob: 0.5},
+			{Action: chaos.ActPanic, Prob: 0.5},
+		} {
+			for _, seed := range sweepSeeds[:4] {
+				name := fmt.Sprintf("%s/%s/seed%d", site, rule.Action, seed)
+				in := chaos.New(seed).On(site, rule)
+				restore := chaos.Install(in)
+				base := runtime.NumGoroutine()
+				runGuarded(t, name, func() {
+					srv := server.New(server.Config{QueueDepth: 32, Jobs: 2, Workers: 2, CacheSize: -1})
+					ts := httptest.NewServer(srv.Handler())
+					ok, faulted := 0, 0
+					for i := 0; i < 12; i++ {
+						resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(body))
+						if err != nil {
+							t.Fatalf("%s: transport error (daemon crashed?): %v", name, err)
+						}
+						payload, err := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						if err != nil {
+							t.Fatalf("%s: torn response body: %v", name, err)
+						}
+						if !json.Valid(payload) {
+							t.Fatalf("%s: response %d is not JSON: %q", name, resp.StatusCode, payload)
+						}
+						switch resp.StatusCode {
+						case http.StatusOK:
+							ok++
+						case http.StatusInternalServerError, http.StatusServiceUnavailable:
+							faulted++
+						default:
+							t.Fatalf("%s: unexpected status %d: %s", name, resp.StatusCode, payload)
+						}
+					}
+					if fired := in.Fired(site); fired > 0 && faulted == 0 {
+						t.Errorf("%s: %d faults fired but every response was 200", name, fired)
+					} else if fired == 0 && ok != 12 {
+						t.Errorf("%s: no faults fired but only %d/12 responses were 200", name, ok)
+					}
+					ts.Close()
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					if err := srv.Drain(ctx); err != nil {
+						t.Errorf("%s: drain under injection: %v", name, err)
+					}
+				})
+				settle(t, name, base)
+				restore()
+			}
 		}
 	}
 }

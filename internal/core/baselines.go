@@ -33,6 +33,9 @@ func Run(method string, g *dfg.Graph, par Params) (*Result, error) {
 // cancellation; the phase-separated baselines run to completion (their
 // single schedule-then-allocate pass has no useful intermediate state).
 func RunCtx(ctx context.Context, method string, g *dfg.Graph, par Params) (*Result, error) {
+	if err := dfg.CheckWidth(par.Width); err != nil {
+		return nil, err
+	}
 	switch method {
 	case MethodCAMAD:
 		return synthesizeCAMADCtx(ctx, g, par)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/hex"
 	"hash"
 	"hash/fnv"
+	"math"
 	"sync"
 
 	"repro/internal/cost"
@@ -120,6 +122,106 @@ func problemFingerprint(p *sched.Problem) fp {
 		}
 	}
 	return h.sum()
+}
+
+// Fingerprint is the exported face of fp: the canonical 128-bit FNV-128a
+// fingerprint the evaluation cache keys on, stable across processes and
+// runs. The serving layer (internal/server) uses the same encoding to
+// coalesce identical in-flight requests and key its result cache, so a
+// request fingerprint inherits the cache's collision and determinism
+// arguments.
+type Fingerprint [16]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Hasher is the exported canonical encoder behind the cache fingerprints:
+// a byte-order-pinned FNV-128a accumulator with length-prefixed strings.
+// Callers write every result-affecting field of a request in a fixed
+// order and take Sum; equal sums then imply bit-identical computations
+// (the same purity argument the eval cache relies on).
+type Hasher struct{ h *hasher }
+
+// NewHasher returns an empty canonical encoder.
+func NewHasher() *Hasher { return &Hasher{h: newHasher()} }
+
+// U64 writes a uint64 in little-endian order.
+func (h *Hasher) U64(v uint64) { h.h.u64(v) }
+
+// Int writes an int (sign-extended through int64).
+func (h *Hasher) Int(v int) { h.h.int(v) }
+
+// Str writes a length-prefixed string.
+func (h *Hasher) Str(s string) { h.h.str(s) }
+
+// F64 writes a float64 by its IEEE 754 bit pattern.
+func (h *Hasher) F64(v float64) { h.h.u64(math.Float64bits(v)) }
+
+// Sum finalizes the encoding.
+func (h *Hasher) Sum() Fingerprint { return Fingerprint(h.h.sum()) }
+
+// Graph writes a canonical encoding of a behaviour graph: name, width,
+// then every node (label, kind, operands, result) and every value (name,
+// kind, constant, output flag) in id order. Two graphs with equal
+// encodings are structurally identical, so every synthesis stage treats
+// them identically.
+func (h *Hasher) Graph(g *dfg.Graph) {
+	h.Str("graph")
+	h.Str(g.Name)
+	h.Int(g.Width)
+	nodes := g.Nodes()
+	h.Int(len(nodes))
+	for _, n := range nodes {
+		h.Str(n.Name)
+		h.Int(int(n.Kind))
+		h.Int(len(n.In))
+		for _, v := range n.In {
+			h.Int(int(v))
+		}
+		h.Int(int(n.Out))
+	}
+	vals := g.Values()
+	h.Int(len(vals))
+	for _, v := range vals {
+		h.Str(v.Name)
+		h.Int(int(v.Kind))
+		h.U64(uint64(v.Const))
+		if v.IsOutput {
+			h.Int(1)
+		} else {
+			h.Int(0)
+		}
+	}
+}
+
+// Params writes the result-affecting fields of a Params: the algorithm
+// knobs (K, α, β, slack, width, loop parameters, policy selectors) but
+// none of the operational ones (Workers, Stats, NoCache, NoPrune,
+// Validate — all of which are contracted to never change results).
+// Callers supplying a custom Class or Lib are outside this encoding and
+// must not share fingerprints across different ones; the server only
+// ever uses the defaults.
+func (h *Hasher) Params(p Params) {
+	h.Str("params")
+	h.Int(p.K)
+	h.F64(p.Alpha)
+	h.F64(p.Beta)
+	h.Int(p.Slack)
+	h.Int(p.Width)
+	h.Int(p.LoopBound)
+	h.Str(p.LoopSignal)
+	h.Int(int(p.Selection))
+	h.Int(int(p.Reschedule))
+	if p.NoExplore {
+		h.Int(1)
+	} else {
+		h.Int(0)
+	}
+	if p.ModulesOnly {
+		h.Int(1)
+	} else {
+		h.Int(0)
+	}
 }
 
 // buildEntry is a memoized state evaluation: the derived design and its

@@ -525,6 +525,13 @@ func Synthesize(g *dfg.Graph, par Params) (*Result, error) {
 // usual and the returned Result is tagged StatusPartial. The nil error on
 // a partial result is deliberate — a deadline is a budget, not a failure.
 func SynthesizeCtx(ctx context.Context, g *dfg.Graph, par Params) (*Result, error) {
+	// Reject nonsensical widths here, at the entry point, instead of
+	// letting a Params built by hand fail deep inside cost estimation or
+	// gate generation (a width over 64 cannot even be simulated — the
+	// gate level packs one value bit per uint64 lane word).
+	if err := dfg.CheckWidth(par.Width); err != nil {
+		return nil, err
+	}
 	// One cache serves all four policies: they share the initial state and
 	// most early-iteration evaluations, so cross-policy hits are where the
 	// memoization pays most. Cached values are pure functions of their

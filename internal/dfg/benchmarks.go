@@ -1,6 +1,7 @@
 package dfg
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -24,8 +25,33 @@ const (
 	BenchTseng  = "tseng"
 )
 
+// Typed input errors. Every front-end entry point (ByName, hdl.Compile,
+// the synthesis flows of internal/core) rejects nonsensical inputs with
+// one of these — matchable with errors.Is — instead of failing deep
+// inside synthesis or silently computing at a meaningless width.
+var (
+	// ErrBadWidth rejects data-path bit widths outside [1, 64]: the gate
+	// level packs one value bit per uint64 lane word, so 64 is the
+	// widest data path the simulators can represent.
+	ErrBadWidth = errors.New("dfg: data-path width must be in [1, 64]")
+	// ErrUnknownBenchmark rejects a benchmark name ByName does not know.
+	ErrUnknownBenchmark = errors.New("dfg: unknown benchmark")
+)
+
+// CheckWidth validates a data-path bit width, returning a wrapped
+// ErrBadWidth outside [1, 64].
+func CheckWidth(width int) error {
+	if width < 1 || width > 64 {
+		return fmt.Errorf("%w (got %d)", ErrBadWidth, width)
+	}
+	return nil
+}
+
 // ByName constructs the named benchmark at the given bit width.
 func ByName(name string, width int) (*Graph, error) {
+	if err := CheckWidth(width); err != nil {
+		return nil, err
+	}
 	switch name {
 	case BenchEx:
 		return Ex(width), nil
@@ -40,7 +66,7 @@ func ByName(name string, width int) (*Graph, error) {
 	case BenchTseng:
 		return Tseng(width), nil
 	default:
-		return nil, fmt.Errorf("dfg: unknown benchmark %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownBenchmark, name)
 	}
 }
 

@@ -14,6 +14,9 @@ import (
 // errors, and any internal invariant violation (e.g. in graph
 // construction) is recovered at this boundary as an *exec.ExecError.
 func Compile(src string, width int) (*dfg.Graph, error) {
+	if err := dfg.CheckWidth(width); err != nil {
+		return nil, err
+	}
 	return exec.Guard1("hdl.compile", -1, func() (*dfg.Graph, error) {
 		return compile(src, width)
 	})

@@ -1,0 +1,415 @@
+// api.go defines the wire types of the synthesis service: the JSON
+// request bodies the endpoints accept, their normalized forms (defaults
+// applied, inputs validated, behaviour graph loaded), the canonical
+// request fingerprints that key coalescing and the result cache, and the
+// pure response builders.
+//
+// Normalization and response building are exported and deterministic on
+// purpose: the integration tests call them directly on results computed
+// through the library facade and assert the daemon's responses are
+// byte-identical — the serving layer (queue, coalescing, cache) must be
+// invisible in the payload.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	hlts "repro"
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/testability"
+)
+
+// SynthesizeRequest is the body of POST /v1/synthesize. Exactly one of
+// Bench and VHDL selects the behaviour; the remaining knobs mirror the
+// hlts CLI flags and default the same way.
+type SynthesizeRequest struct {
+	Bench  string   `json:"bench,omitempty"`
+	VHDL   string   `json:"vhdl,omitempty"`
+	Width  int      `json:"width"`
+	Method string   `json:"method,omitempty"` // default "ours"
+	K      int      `json:"k,omitempty"`      // default 3
+	Alpha  *float64 `json:"alpha,omitempty"`  // default 2
+	Beta   *float64 `json:"beta,omitempty"`   // default 1
+	Slack  int      `json:"slack,omitempty"`
+	Loop   string   `json:"loop,omitempty"` // default "exit" for diffeq/paulin
+	// DeadlineMS caps this request's computation; it is bounded above by
+	// the server's MaxDeadline and deliberately excluded from the request
+	// fingerprint (a deadline changes when an answer arrives, not which
+	// answer).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// NormSynthesize is a normalized synthesis request: defaults applied,
+// inputs validated, behaviour graph loaded.
+type NormSynthesize struct {
+	Behaviour string // benchmark name, or "vhdl:<entity>" for sources
+	Method    string
+	Graph     *hlts.Graph
+	Params    hlts.Params
+}
+
+// Normalize validates the request and loads the behaviour graph. Every
+// error it returns is a client error (HTTP 400): bad width, unknown
+// benchmark or method, malformed VHDL.
+func (r SynthesizeRequest) Normalize() (*NormSynthesize, error) {
+	n := &NormSynthesize{Method: r.Method}
+	if n.Method == "" {
+		n.Method = hlts.MethodOurs
+	}
+	if !validMethod(n.Method) {
+		return nil, fmt.Errorf("unknown method %q (want one of %s)", n.Method, strings.Join(hlts.Methods(), ", "))
+	}
+	var err error
+	switch {
+	case r.Bench != "" && r.VHDL != "":
+		return nil, fmt.Errorf("choose one of bench and vhdl, not both")
+	case r.Bench != "":
+		n.Behaviour = r.Bench
+		n.Graph, err = hlts.LoadBenchmark(r.Bench, r.Width)
+	case r.VHDL != "":
+		n.Graph, err = hlts.CompileVHDL(r.VHDL, r.Width)
+		if err == nil {
+			n.Behaviour = "vhdl:" + n.Graph.Name
+		}
+	default:
+		return nil, fmt.Errorf("one of bench and vhdl is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := hlts.DefaultParams(r.Width)
+	if r.K > 0 {
+		p.K = r.K
+	}
+	if r.Alpha != nil {
+		p.Alpha = *r.Alpha
+	}
+	if r.Beta != nil {
+		p.Beta = *r.Beta
+	}
+	p.Slack = r.Slack
+	p.LoopSignal = r.Loop
+	if p.LoopSignal == "" && (r.Bench == hlts.BenchDiffeq || r.Bench == hlts.BenchPaulin) {
+		p.LoopSignal = "exit"
+	}
+	n.Params = p
+	return n, nil
+}
+
+func validMethod(m string) bool {
+	for _, known := range hlts.Methods() {
+		if m == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint canonically hashes everything the response depends on:
+// the endpoint, the behaviour graph and the result-affecting synthesis
+// parameters — the same FNV-128a encoding the evaluation cache keys on,
+// so equal fingerprints imply bit-identical responses. Operational knobs
+// (workers, deadline, stats) are excluded by construction.
+func (n *NormSynthesize) Fingerprint() core.Fingerprint {
+	h := core.NewHasher()
+	h.Str("v1/synthesize")
+	h.Str(n.Method)
+	h.Graph(n.Graph)
+	h.Params(n.Params)
+	return h.Sum()
+}
+
+// SynthesizeResponse is the body of a successful /v1/synthesize call.
+type SynthesizeResponse struct {
+	Behaviour       string  `json:"behaviour"`
+	Method          string  `json:"method"`
+	Width           int     `json:"width"`
+	ExecTime        int     `json:"exec_time"`
+	Area            float64 `json:"area"`
+	Modules         int     `json:"modules"`
+	Registers       int     `json:"registers"`
+	Muxes           int     `json:"muxes"`
+	MuxInputs       int     `json:"mux_inputs"`
+	SelfLoops       int     `json:"self_loops"`
+	MeanTestability float64 `json:"mean_testability"`
+	Schedule        string  `json:"schedule"`
+	Allocation      string  `json:"allocation"`
+	Status          string  `json:"status"`
+	Exhausted       string  `json:"exhausted,omitempty"`
+	Fingerprint     string  `json:"fingerprint"`
+}
+
+// BuildSynthesizeResponse derives the response payload from a synthesis
+// result: a pure function of (normalized request, result), so identical
+// results marshal to identical bytes whichever path produced them.
+func BuildSynthesizeResponse(n *NormSynthesize, res *hlts.Result) SynthesizeResponse {
+	return SynthesizeResponse{
+		Behaviour:       n.Behaviour,
+		Method:          res.Method,
+		Width:           n.Params.Width,
+		ExecTime:        res.ExecTime,
+		Area:            res.Area.Total,
+		Modules:         res.Design.Alloc.NumModules(),
+		Registers:       res.Design.Alloc.NumRegs(),
+		Muxes:           res.Mux.Muxes,
+		MuxInputs:       res.Mux.Inputs,
+		SelfLoops:       res.Design.SelfLoops(),
+		MeanTestability: testability.MeanTestability(res.Design, res.Metrics),
+		Schedule:        res.Design.Sched.String(n.Graph),
+		Allocation:      res.Design.Alloc.String(n.Graph),
+		Status:          res.Status.String(),
+		Exhausted:       res.Exhausted,
+		Fingerprint:     n.Fingerprint().String(),
+	}
+}
+
+// TestDesignRequest is the body of POST /v1/testdesign: a synthesis
+// request plus the test-generation knobs. Scan selects up to Scan
+// partial-scan registers before ATPG; BIST additionally evaluates a
+// built-in self-test configuration of the same design.
+type TestDesignRequest struct {
+	SynthesizeRequest
+	Seed     int64        `json:"seed,omitempty"`   // default 1
+	Faults   int          `json:"faults,omitempty"` // fault sample size, default 1500
+	Scan     int          `json:"scan,omitempty"`
+	TestMode bool         `json:"test_mode,omitempty"`
+	BIST     *BISTRequest `json:"bist,omitempty"`
+}
+
+// BISTRequest configures the optional self-test evaluation.
+type BISTRequest struct {
+	TPG    int `json:"tpg"`
+	MISR   int `json:"misr"`
+	Cycles int `json:"cycles,omitempty"` // default 100
+	Faults int `json:"faults,omitempty"` // sample size, default 400
+}
+
+// NormTestDesign is a normalized test-design request.
+type NormTestDesign struct {
+	NormSynthesize
+	Seed     int64
+	Faults   int
+	Scan     int
+	TestMode bool
+	BIST     *BISTRequest
+}
+
+// Normalize validates the request and applies defaults.
+func (r TestDesignRequest) Normalize() (*NormTestDesign, error) {
+	ns, err := r.SynthesizeRequest.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := &NormTestDesign{NormSynthesize: *ns, Seed: r.Seed, Faults: r.Faults, Scan: r.Scan, TestMode: r.TestMode}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Faults == 0 {
+		n.Faults = 1500
+	}
+	if n.Scan < 0 {
+		return nil, fmt.Errorf("scan must be >= 0 (got %d)", n.Scan)
+	}
+	if r.BIST != nil {
+		b := *r.BIST
+		if b.TPG < 0 || b.MISR < 0 || b.TPG+b.MISR == 0 {
+			return nil, fmt.Errorf("bist needs tpg+misr >= 1 registers")
+		}
+		if b.Cycles == 0 {
+			b.Cycles = 100
+		}
+		if b.Cycles < 1 {
+			return nil, fmt.Errorf("bist cycles must be >= 1 (got %d)", b.Cycles)
+		}
+		if b.Faults == 0 {
+			b.Faults = 400
+		}
+		n.BIST = &b
+	}
+	return n, nil
+}
+
+// Fingerprint extends the synthesis fingerprint with the test-generation
+// knobs.
+func (n *NormTestDesign) Fingerprint() core.Fingerprint {
+	h := core.NewHasher()
+	h.Str("v1/testdesign")
+	h.Str(n.Method)
+	h.Graph(n.Graph)
+	h.Params(n.Params)
+	h.U64(uint64(n.Seed))
+	h.Int(n.Faults)
+	h.Int(n.Scan)
+	if n.TestMode {
+		h.Int(1)
+	} else {
+		h.Int(0)
+	}
+	if n.BIST != nil {
+		h.Str("bist")
+		h.Int(n.BIST.TPG)
+		h.Int(n.BIST.MISR)
+		h.Int(n.BIST.Cycles)
+		h.Int(n.BIST.Faults)
+	}
+	return h.Sum()
+}
+
+// TestDesignResponse is the body of a successful /v1/testdesign call.
+type TestDesignResponse struct {
+	Synthesis SynthesizeResponse `json:"synthesis"`
+
+	Gates int `json:"gates"`
+	DFFs  int `json:"dffs"`
+
+	ScanRegs []int `json:"scan_regs,omitempty"`
+
+	Coverage      float64 `json:"coverage"`
+	TGEffort      int64   `json:"tg_effort"`
+	TestCycles    int     `json:"test_cycles"`
+	ATPGStatus    string  `json:"atpg_status"`
+	ATPGExhausted string  `json:"atpg_exhausted,omitempty"`
+
+	BIST *BISTResponse `json:"bist,omitempty"`
+
+	Fingerprint string `json:"fingerprint"`
+}
+
+// BISTResponse reports the optional self-test evaluation.
+type BISTResponse struct {
+	TPG         []int   `json:"tpg"`
+	MISR        []int   `json:"misr"`
+	TotalFaults int     `json:"total_faults"`
+	Detected    int     `json:"detected"`
+	Coverage    float64 `json:"coverage"`
+	Cycles      int     `json:"cycles"`
+	Status      string  `json:"status"`
+	Exhausted   string  `json:"exhausted,omitempty"`
+}
+
+// BuildTestDesignResponse derives the response payload; like its
+// synthesis counterpart it is pure in its inputs.
+func BuildTestDesignResponse(n *NormTestDesign, res *hlts.Result, nl *hlts.Netlist, scanRegs []int, ares *hlts.ATPGResult, tpg, misr []int, bres *atpg.BISTOutcome) TestDesignResponse {
+	out := TestDesignResponse{
+		Synthesis:     BuildSynthesizeResponse(&n.NormSynthesize, res),
+		Gates:         nl.C.NumGates(),
+		DFFs:          len(nl.C.DFFs),
+		ScanRegs:      scanRegs,
+		Coverage:      ares.Coverage,
+		TGEffort:      ares.Effort,
+		TestCycles:    ares.TestCycles,
+		ATPGStatus:    ares.Status.String(),
+		ATPGExhausted: ares.Exhausted,
+		Fingerprint:   n.Fingerprint().String(),
+	}
+	// The embedded synthesis fingerprint would differ from the job's own;
+	// pin both to the test-design fingerprint so the payload carries one
+	// coherent identity.
+	out.Synthesis.Fingerprint = out.Fingerprint
+	if bres != nil {
+		out.BIST = &BISTResponse{
+			TPG: tpg, MISR: misr,
+			TotalFaults: bres.TotalFaults, Detected: bres.Detected,
+			Coverage: bres.Coverage, Cycles: bres.Cycles,
+			Status: bres.Status.String(), Exhausted: bres.Exhausted,
+		}
+	}
+	return out
+}
+
+// NormTable is a normalized GET /v1/table/{bench} request.
+type NormTable struct {
+	Bench  string
+	Widths []int
+	Seed   int64
+	Faults int
+}
+
+// NormalizeTable validates the table request: the benchmark must exist
+// (probed at the narrowest width) and the widths must each pass the
+// facade's width validation.
+func NormalizeTable(bench, widthsCSV, seedStr, faultsStr string) (*NormTable, error) {
+	n := &NormTable{Bench: bench, Seed: 1998, Faults: 300}
+	if widthsCSV == "" {
+		widthsCSV = "4,8,16"
+	}
+	for _, f := range strings.Split(widthsCSV, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad width %q", f)
+		}
+		n.Widths = append(n.Widths, w)
+	}
+	if seedStr != "" {
+		s, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", seedStr)
+		}
+		n.Seed = s
+	}
+	if faultsStr != "" {
+		f, err := strconv.Atoi(faultsStr)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad faults %q", faultsStr)
+		}
+		n.Faults = f
+	}
+	for _, w := range n.Widths {
+		if _, err := hlts.LoadBenchmark(bench, w); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Fingerprint canonically hashes the table request.
+func (n *NormTable) Fingerprint() core.Fingerprint {
+	h := core.NewHasher()
+	h.Str("v1/table")
+	h.Str(n.Bench)
+	h.Int(len(n.Widths))
+	for _, w := range n.Widths {
+		h.Int(w)
+	}
+	h.U64(uint64(n.Seed))
+	h.Int(n.Faults)
+	return h.Sum()
+}
+
+// TableResponse is the body of a successful /v1/table call.
+type TableResponse struct {
+	Table       *hlts.Table `json:"table"`
+	Rendered    string      `json:"rendered"`
+	Partial     bool        `json:"partial,omitempty"`
+	Fingerprint string      `json:"fingerprint"`
+}
+
+// BuildTableResponse derives the response payload.
+func BuildTableResponse(n *NormTable, tbl *hlts.Table) TableResponse {
+	out := TableResponse{Table: tbl, Rendered: tbl.Render(), Fingerprint: n.Fingerprint().String()}
+	for _, c := range tbl.Cells {
+		if c.Partial {
+			out.Partial = true
+		}
+	}
+	return out
+}
+
+// errorBody is the uniform error payload of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// marshal renders a response payload in the service's canonical JSON
+// framing (compact encoding plus trailing newline).
+func marshal(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

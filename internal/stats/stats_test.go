@@ -38,13 +38,88 @@ func TestCountersAndTimers(t *testing.T) {
 	}
 }
 
+// WriteText is the /metrics exposition consumed by scrapers and the CLIs'
+// -stats dump: its output for a fixed collector state is pinned byte for
+// byte so a format drift breaks this test, not a dashboard.
+func TestWriteTextFormatStability(t *testing.T) {
+	s := New()
+	s.Add("cache.build.hit", 3)
+	s.Add("cache.build.miss", 1)
+	s.Add("server.jobs.run", 7)
+	s.mu.Lock()
+	s.timers["time.sched"] = 1500 * time.Microsecond
+	s.mu.Unlock()
+	s.Observe("http.synthesize.latency", 0.0004)
+	s.Observe("http.synthesize.latency", 0.03)
+	s.Observe("http.synthesize.latency", 42) // beyond the last bound: +Inf only
+
+	var b strings.Builder
+	if err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE hlts_cache_build_hit counter
+hlts_cache_build_hit 3
+# TYPE hlts_cache_build_miss counter
+hlts_cache_build_miss 1
+# TYPE hlts_server_jobs_run counter
+hlts_server_jobs_run 7
+# TYPE hlts_time_sched_seconds gauge
+hlts_time_sched_seconds 0.0015
+# TYPE hlts_http_synthesize_latency_seconds histogram
+hlts_http_synthesize_latency_seconds_bucket{le="0.001"} 1
+hlts_http_synthesize_latency_seconds_bucket{le="0.0025"} 1
+hlts_http_synthesize_latency_seconds_bucket{le="0.005"} 1
+hlts_http_synthesize_latency_seconds_bucket{le="0.01"} 1
+hlts_http_synthesize_latency_seconds_bucket{le="0.025"} 1
+hlts_http_synthesize_latency_seconds_bucket{le="0.05"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="0.1"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="0.25"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="0.5"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="1"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="2.5"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="5"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="10"} 2
+hlts_http_synthesize_latency_seconds_bucket{le="+Inf"} 3
+hlts_http_synthesize_latency_seconds_sum 42.0304
+hlts_http_synthesize_latency_seconds_count 3
+# TYPE hlts_cache_build_hitrate gauge
+hlts_cache_build_hitrate 0.75
+`
+	if got := b.String(); got != want {
+		t.Errorf("WriteText output drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := New()
+	if q := s.Quantile("empty", 0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe("lat", 0.003) // all in the (0.0025, 0.005] bucket
+	}
+	p50 := s.Quantile("lat", 0.5)
+	if p50 <= 0.0025 || p50 > 0.005 {
+		t.Errorf("p50 = %g, want inside (0.0025, 0.005]", p50)
+	}
+	s.Observe("lat", 99) // beyond the last bound
+	if q := s.Quantile("lat", 1); q != histBounds[len(histBounds)-1] {
+		t.Errorf("p100 with +Inf observation = %g, want clamp to %g", q, histBounds[len(histBounds)-1])
+	}
+}
+
 // A nil collector must be inert: every method callable, zero values out.
 func TestNilStats(t *testing.T) {
 	var s *Stats
 	s.Add("x", 1)
 	s.Time("y")()
-	if s.Value("x") != 0 || s.Duration("y") != 0 || s.HitRate("z") != 0 || s.String() != "" {
+	s.Observe("h", 1)
+	if s.Value("x") != 0 || s.Duration("y") != 0 || s.HitRate("z") != 0 || s.String() != "" || s.Quantile("h", 0.5) != 0 {
 		t.Error("nil Stats not inert")
+	}
+	var b strings.Builder
+	if err := s.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil WriteText = (%q, %v), want empty", b.String(), err)
 	}
 	if got := s.Counters(); len(got) != 0 {
 		t.Errorf("nil Counters() = %v", got)
