@@ -14,7 +14,10 @@
 //
 // Jobs run on a bounded queue with admission control (429 + Retry-After
 // at capacity) and fingerprint coalescing: identical concurrent requests
-// share one computation and byte-identical responses. SIGINT/SIGTERM
+// share one computation and byte-identical responses. With -store DIR,
+// completed results are also written through to a crash-safe persistent
+// store and reloaded at boot, so a restarted daemon serves a repeat
+// workload from a hot cache without recomputing. SIGINT/SIGTERM
 // starts a graceful drain — queued jobs finish (or land best-so-far
 // partial results when -drain-timeout expires) before the process exits.
 package main
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 		maxDL   = flag.Duration("max-deadline", 2*time.Minute, "per-job computation cap; requests may tighten it with deadline_ms but never exceed it")
 		drainTO = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; jobs still running when it expires land best-so-far partial results")
 		cacheSz = flag.Int("cache", 128, "result-cache capacity in entries (negative disables)")
+		storeFl = flag.String("store", "", "persistent result-store directory: completed results are written through and reloaded at boot, so a restarted daemon serves repeat traffic from a hot cache (empty = in-memory only)")
 		valFlg  = flag.Bool("validate", false, "run the structural invariant checkers inside every job")
 		chaosFl = flag.String("chaos", "", "fault-injection spec, a recovery-path test hook: seed=N;site=action[:prob];... (see internal/chaos)")
 	)
@@ -62,6 +67,17 @@ func main() {
 		defer func() { log.Printf("chaos fired %d injected faults", in.FiredTotal()) }()
 	}
 
+	var resStore *store.Store
+	if *storeFl != "" {
+		var err error
+		resStore, err = store.Open(*storeFl, store.Options{})
+		if err != nil {
+			log.Fatalf("open -store %s: %v", *storeFl, err)
+		}
+		defer resStore.Close()
+		log.Printf("result store %s: %d records", *storeFl, resStore.Len())
+	}
+
 	srv := server.New(server.Config{
 		QueueDepth:  *queue,
 		Jobs:        *jobs,
@@ -69,6 +85,7 @@ func main() {
 		MaxDeadline: *maxDL,
 		CacheSize:   *cacheSz,
 		Validate:    *valFlg,
+		Store:       resStore,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

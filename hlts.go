@@ -251,10 +251,12 @@ func ReproduceTableCtx(ctx context.Context, bench string, cfg ExperimentConfig) 
 	return report.RunTableCtx(ctx, bench, cfg)
 }
 
-// OpenCheckpoint opens (creating if needed) a sweep checkpoint journal.
-// Assign it to ExperimentConfig.Journal to make a table run resumable:
-// completed cells are recorded as they finish and skipped on the next
-// run. See cmd/hltsbench's -resume flag.
+// OpenCheckpoint opens (creating if needed) a sweep checkpoint store at
+// path — a directory backed by the crash-safe content-addressed store of
+// internal/store (a legacy single-file journal at the same path is
+// migrated in place). Assign it to ExperimentConfig.Journal to make a
+// table run resumable: completed cells are recorded as they finish and
+// skipped on the next run. See cmd/hltsbench's -store flag.
 func OpenCheckpoint(path string) (*Checkpoint, error) { return report.OpenJournal(path) }
 
 // ValidateDesign runs the structural invariant checkers on a synthesized

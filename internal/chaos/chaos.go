@@ -1,8 +1,8 @@
 // Package chaos is the deterministic fault-injection framework behind the
 // robustness test suite: named injection sites threaded through the
 // pipeline's hot paths (worker pools, guard boundaries, the ATPG campaign,
-// Petri-net reachability, the checkpoint journal) fire seeded faults —
-// panics, typed errors, stalls, torn journal writes — so every recovery
+// Petri-net reachability, the persistent result store) fire seeded faults —
+// panics, typed errors, stalls, torn or bit-rotted store writes — so every recovery
 // path of the execution layer can be exercised on demand instead of
 // waiting for something to break naturally.
 //
@@ -48,7 +48,7 @@ const (
 	// ActStall: the site sleeps for the rule's Stall duration, simulating a
 	// wedged worker, then proceeds normally.
 	ActStall
-	// ActTorn: journal sites interpret a fired rule as "tear this write"
+	// ActTorn: store sites interpret a fired rule as "tear this write"
 	// (write a prefix of the record and fail, the signature of a kill
 	// mid-write). At generic sites it behaves like ActError.
 	ActTorn
@@ -116,13 +116,18 @@ const (
 	// reachability computation; a fired rule simulates node-budget
 	// exhaustion (the exploration stops with a Partial reach set).
 	SitePetriReach = "petri.reach"
-	// SiteJournalWrite, SiteJournalSync and SiteJournalTorn fire inside
-	// checkpoint-journal Record: a failed write, a failed fsync (the bytes
-	// land but durability is not confirmed), and a torn trailing line (a
-	// kill mid-write).
-	SiteJournalWrite = "report.journal.write"
-	SiteJournalSync  = "report.journal.sync"
-	SiteJournalTorn  = "report.journal.torn"
+	// SiteStoreWrite, SiteStoreSync, SiteStoreTorn and SiteStoreCorrupt
+	// fire inside the content-addressed result store's Put (internal/store
+	// — the durability layer behind both the daemon's persistent cache and
+	// the checkpoint journal): a failed append, a failed fsync (the bytes
+	// land but durability is not confirmed, so the record is never
+	// acknowledged), a torn write (a prefix of the record on disk — a kill
+	// mid-write), and bit rot (the full record lands with a flipped byte,
+	// detectable only by checksum).
+	SiteStoreWrite   = "store.write"
+	SiteStoreSync    = "store.sync"
+	SiteStoreTorn    = "store.torn"
+	SiteStoreCorrupt = "store.corrupt"
 	// SiteServerAccept, SiteServerEnqueue and SiteServerRespond fire in
 	// the serving layer (internal/server): at request admission, just
 	// before a job is pushed onto the bounded queue, and just before the
@@ -143,7 +148,7 @@ func Sites() []string {
 		SiteExecGuard,
 		SiteATPGFault, SiteATPGBudget,
 		SitePetriReach,
-		SiteJournalWrite, SiteJournalSync, SiteJournalTorn,
+		SiteStoreWrite, SiteStoreSync, SiteStoreTorn, SiteStoreCorrupt,
 		SiteServerAccept, SiteServerEnqueue, SiteServerRespond,
 	}
 	sort.Strings(s)
@@ -351,7 +356,7 @@ func Step(site string) error {
 }
 
 // Fire is the hook for sites that implement the fault themselves (the
-// torn-write path of the checkpoint journal): it reports whether the
+// torn-write and bit-rot paths of the result store): it reports whether the
 // site's rule fired this hit and hands back the typed error the caller
 // should propagate after acting. No action is taken by Fire itself.
 func Fire(site string) (error, bool) {

@@ -105,12 +105,12 @@ func TestStepActions(t *testing.T) {
 }
 
 func TestFire(t *testing.T) {
-	if err, fired := Fire(SiteJournalTorn); fired || err != nil {
+	if err, fired := Fire(SiteStoreTorn); fired || err != nil {
 		t.Fatalf("dormant Fire = %v, %v", err, fired)
 	}
-	restore := Install(New(1).On(SiteJournalTorn, Rule{Action: ActTorn}))
+	restore := Install(New(1).On(SiteStoreTorn, Rule{Action: ActTorn}))
 	defer restore()
-	err, fired := Fire(SiteJournalTorn)
+	err, fired := Fire(SiteStoreTorn)
 	if !fired || !IsInjected(err) {
 		t.Fatalf("Fire = %v, %v", err, fired)
 	}
@@ -157,7 +157,7 @@ func TestSitesSortedAndComplete(t *testing.T) {
 	if !sort.StringsAreSorted(s) {
 		t.Fatalf("Sites() not sorted: %v", s)
 	}
-	if len(s) != 15 {
+	if len(s) != 16 {
 		t.Fatalf("Sites() has %d entries: %v", len(s), s)
 	}
 	seen := map[string]bool{}
@@ -170,7 +170,7 @@ func TestSitesSortedAndComplete(t *testing.T) {
 }
 
 func TestParse(t *testing.T) {
-	in, err := Parse("seed=42; parallel.produce=panic:0.25 ;report.journal.sync=error;atpg.budget=stall")
+	in, err := Parse("seed=42; parallel.produce=panic:0.25 ;store.sync=error;atpg.budget=stall")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestParse(t *testing.T) {
 	if r := in.sites[SiteParallelProduce].rule; r.Action != ActPanic || r.Prob != 0.25 {
 		t.Fatalf("produce rule = %+v", r)
 	}
-	if r := in.sites[SiteJournalSync].rule; r.Action != ActError || r.Prob != 0 {
+	if r := in.sites[SiteStoreSync].rule; r.Action != ActError || r.Prob != 0 {
 		t.Fatalf("sync rule = %+v", r)
 	}
 	if r := in.sites[SiteATPGBudget].rule; r.Action != ActStall {

@@ -9,9 +9,12 @@
 //   - ordered pipelines always commit a clean prefix,
 //   - partial results stay internally consistent (Skipped > 0 implies
 //     StatusPartial),
-//   - stall-only injection never changes any result, and
-//   - the checkpoint journal resumes byte-identically under injected
-//     write/sync/torn faults.
+//   - stall-only injection never changes any result,
+//   - the result store never loses an acknowledged record and never
+//     trusts a corrupt one under injected write/sync/torn/corrupt
+//     faults, and
+//   - the checkpoint journal (an adapter over the store) resumes
+//     byte-identically after torn writes.
 //
 // It lives in an external test package so it can drive the real
 // parallel/atpg/petri/report code paths without an import cycle.
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/exec"
 	"repro/internal/gates"
@@ -41,6 +45,7 @@ import (
 	"repro/internal/petri"
 	"repro/internal/report"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // The sweep's partition of the site space; TestSweepSiteListsCoverAllSites
@@ -50,10 +55,10 @@ var (
 		chaos.SiteParallelClaim, chaos.SiteParallelStall, chaos.SiteParallelJob,
 		chaos.SiteParallelProduce, chaos.SiteParallelCommit, chaos.SiteExecGuard,
 	}
-	atpgSites    = []string{chaos.SiteATPGFault, chaos.SiteATPGBudget}
-	petriSites   = []string{chaos.SitePetriReach}
-	journalSites = []string{chaos.SiteJournalWrite, chaos.SiteJournalSync, chaos.SiteJournalTorn}
-	serverSites  = []string{chaos.SiteServerAccept, chaos.SiteServerEnqueue, chaos.SiteServerRespond}
+	atpgSites   = []string{chaos.SiteATPGFault, chaos.SiteATPGBudget}
+	petriSites  = []string{chaos.SitePetriReach}
+	storeSites  = []string{chaos.SiteStoreWrite, chaos.SiteStoreSync, chaos.SiteStoreTorn, chaos.SiteStoreCorrupt}
+	serverSites = []string{chaos.SiteServerAccept, chaos.SiteServerEnqueue, chaos.SiteServerRespond}
 
 	sweepSeeds   = []int64{1, 2, 3, 5, 8, 13, 21, 34}
 	sweepWorkers = []int{1, 8}
@@ -61,7 +66,7 @@ var (
 
 func TestSweepSiteListsCoverAllSites(t *testing.T) {
 	union := map[string]bool{}
-	for _, list := range [][]string{parallelSites, atpgSites, petriSites, journalSites, serverSites} {
+	for _, list := range [][]string{parallelSites, atpgSites, petriSites, storeSites, serverSites} {
 		for _, s := range list {
 			union[s] = true
 		}
@@ -359,58 +364,140 @@ func TestChaosPetriReachPartial(t *testing.T) {
 	}
 }
 
-// TestChaosJournalFaults drives Record through write failures, fsync
-// failures and torn writes, and proves the journal heals: reopening skips
-// the torn fragment, un-recorded cells record cleanly afterwards, and no
-// cell is ever lost once Record returned nil.
+// storeRule picks the fault a store site injects: the torn and corrupt
+// sites implement their fault themselves (chaos.Fire), the write and
+// sync sites surface a plain injected error.
+func storeRule(site string) chaos.Rule {
+	if site == chaos.SiteStoreTorn || site == chaos.SiteStoreCorrupt {
+		return chaos.Rule{Action: chaos.ActTorn, Prob: 0.5}
+	}
+	return chaos.Rule{Action: chaos.ActError, Prob: 0.5}
+}
+
+// TestChaosStoreFaults drives Put through failed appends, failed fsyncs,
+// torn writes and bit rot, and proves the store's durability contract:
+// after reopening, every acknowledged record is present with its exact
+// bytes, a corrupt record is never returned as truth, and the failed
+// keys re-put cleanly.
+func TestChaosStoreFaults(t *testing.T) {
+	const nKeys = 24
+	for _, site := range storeSites {
+		for _, seed := range sweepSeeds {
+			name := fmt.Sprintf("%s/seed%d", site, seed)
+			dir := filepath.Join(t.TempDir(), "results")
+			s, err := store.Open(dir, store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := chaos.New(seed).On(site, storeRule(site))
+			restore := chaos.Install(in)
+			acked := map[core.Fingerprint][]byte{}
+			var failed []core.Fingerprint
+			for i := 0; i < nKeys; i++ {
+				h := core.NewHasher()
+				h.Str(fmt.Sprintf("cell-%d", i))
+				fp := h.Sum()
+				val := []byte(fmt.Sprintf("result-%s-%d", site, i))
+				err := s.Put(fp, val)
+				assertTyped(t, name, err)
+				if err == nil {
+					acked[fp] = val
+				} else {
+					failed = append(failed, fp)
+					// An unacknowledged record must not be served back now…
+					if v, ok := s.Get(fp); ok && string(v) != string(val) {
+						t.Fatalf("%s: unacknowledged put visible with wrong bytes: %q", name, v)
+					}
+				}
+			}
+			restore()
+			if in.FiredTotal() == 0 {
+				t.Fatalf("%s: no faults fired", name)
+			}
+			s.Close()
+
+			// "Reboot": torn tails healed, corrupt records dropped — and
+			// nothing acknowledged is lost or altered.
+			s2, err := store.Open(dir, store.Options{})
+			if err != nil {
+				t.Fatalf("%s: reopen after faults: %v", name, err)
+			}
+			for fp, val := range acked {
+				got, ok := s2.Get(fp)
+				if !ok {
+					t.Errorf("%s: acknowledged record %s lost across reopen", name, fp)
+				} else if string(got) != string(val) {
+					t.Errorf("%s: acknowledged record %s altered: %q != %q", name, fp, got, val)
+				}
+			}
+			// …and after the reboot a failed key either replays the exact
+			// written bytes (fsync-failed record that did land: a harmless
+			// duplicate of a deterministic value) or is absent. Re-putting
+			// cleanly must work either way.
+			for i, fp := range failed {
+				val := []byte(fmt.Sprintf("recomputed-%d", i))
+				if v, ok := s2.Get(fp); ok && strings.HasPrefix(string(v), "recomputed") {
+					t.Errorf("%s: impossible value for unacked key: %q", name, v)
+				}
+				if err := s2.Put(fp, val); err != nil {
+					t.Errorf("%s: clean re-put failed: %v", name, err)
+				} else if v, ok := s2.Get(fp); !ok || string(v) != string(val) {
+					t.Errorf("%s: re-put record unreadable: %q %v", name, v, ok)
+				}
+			}
+			if s2.Len() != nKeys {
+				t.Errorf("%s: store holds %d records, want %d", name, s2.Len(), nKeys)
+			}
+			s2.Close()
+		}
+	}
+}
+
+// TestChaosJournalFaults drives the checkpoint journal — now an adapter
+// over the store — through the same fault sites and proves it heals:
+// reopening skips damage, un-recorded cells record cleanly afterwards,
+// and no cell is ever lost once Record returned nil.
 func TestChaosJournalFaults(t *testing.T) {
 	methods := []string{"camad", "approach1", "approach2", "ours"}
 	mkCell := func(m string, w int) report.Cell {
 		return report.Cell{Method: m, Width: w, Coverage: 0.5, Gates: w * 10}
 	}
-	for _, site := range journalSites {
+	for _, site := range storeSites {
 		for _, seed := range sweepSeeds {
 			name := fmt.Sprintf("%s/seed%d", site, seed)
-			dir := t.TempDir()
-			path := filepath.Join(dir, "sweep.ckpt")
+			path := filepath.Join(t.TempDir(), "sweep.ckpt")
 			j, err := report.OpenJournal(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			action := chaos.ActError
-			if site == chaos.SiteJournalTorn {
-				action = chaos.ActTorn
-			}
-			in := chaos.New(seed).On(site, chaos.Rule{Action: action, Prob: 0.5})
+			in := chaos.New(seed).On(site, storeRule(site))
 			restore := chaos.Install(in)
-			recorded := map[string]bool{}
+			type cell struct {
+				m string
+				w int
+			}
+			var recorded []cell
 			for _, m := range methods {
 				for _, w := range []int{4, 8} {
 					err := j.Record("bench", mkCell(m, w))
 					assertTyped(t, name, err)
 					if err == nil {
-						recorded[fmt.Sprintf("%s/%d", m, w)] = true
+						recorded = append(recorded, cell{m, w})
 					}
 				}
 			}
 			restore()
 			j.Close()
 
-			// Reopen: everything Record acknowledged must be there; torn
-			// fragments are healed. Then the failed cells re-record cleanly.
+			// Reopen: everything Record acknowledged must be there; damage
+			// is healed. Then the failed cells re-record cleanly.
 			j2, err := report.OpenJournal(path)
 			if err != nil {
 				t.Fatalf("%s: reopen after faults: %v", name, err)
 			}
-			for key := range recorded {
-				var m string
-				var w int
-				fmt.Sscanf(key, "%s", &m) // key is "method/width"
-				parts := strings.SplitN(key, "/", 2)
-				m = parts[0]
-				fmt.Sscanf(parts[1], "%d", &w)
-				if _, ok := j2.Lookup("bench", m, w); !ok {
-					t.Errorf("%s: acknowledged cell %s lost across reopen", name, key)
+			for _, c := range recorded {
+				if _, ok := j2.Lookup("bench", c.m, c.w); !ok {
+					t.Errorf("%s: acknowledged cell %s/%d lost across reopen", name, c.m, c.w)
 				}
 			}
 			for _, m := range methods {
@@ -424,6 +511,50 @@ func TestChaosJournalFaults(t *testing.T) {
 				t.Errorf("%s: journal holds %d cells, want %d", name, j2.Len(), len(methods)*2)
 			}
 			j2.Close()
+		}
+	}
+}
+
+// TestChaosStoreNeverFailsServing: a daemon whose persistent store is
+// being fault-injected must keep answering 200 — the store is an
+// accelerator, never a dependency — and still drain cleanly without
+// leaking goroutines.
+func TestChaosStoreNeverFailsServing(t *testing.T) {
+	body := `{"bench":"ex","width":4}` + "\n"
+	for _, site := range storeSites {
+		for _, seed := range sweepSeeds[:4] {
+			name := fmt.Sprintf("%s/seed%d", site, seed)
+			stor, err := store.Open(filepath.Join(t.TempDir(), "results"), store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := chaos.New(seed).On(site, chaos.Rule{Action: storeRule(site).Action, Prob: 0.7})
+			restore := chaos.Install(in)
+			base := runtime.NumGoroutine()
+			runGuarded(t, name, func() {
+				srv := server.New(server.Config{QueueDepth: 32, Jobs: 2, Workers: 2, CacheSize: -1, Store: stor})
+				ts := httptest.NewServer(srv.Handler())
+				for i := 0; i < 8; i++ {
+					resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Fatalf("%s: transport error (daemon crashed?): %v", name, err)
+					}
+					payload, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("%s: store fault surfaced to the client: %d %s", name, resp.StatusCode, payload)
+					}
+				}
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := srv.Drain(ctx); err != nil {
+					t.Errorf("%s: drain under store injection: %v", name, err)
+				}
+			})
+			settle(t, name, base)
+			restore()
+			stor.Close()
 		}
 	}
 }
@@ -509,9 +640,9 @@ func checkpointConfig(workers, par int) report.Config {
 }
 
 // TestChaosJournalResumeByteIdentical is the acceptance criterion: a
-// sweep whose journal writes are being torn by injection behaves like a
-// killed run — and resuming from that journal, faults gone, renders the
-// table byte-identically to an uninterrupted run.
+// sweep whose store writes are being torn by injection behaves like a
+// killed run — and resuming from that checkpoint, faults gone, renders
+// the table byte-identically to an uninterrupted run.
 func TestChaosJournalResumeByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table runs are too slow for -short")
@@ -532,10 +663,10 @@ func TestChaosJournalResumeByteIdentical(t *testing.T) {
 		}
 		cfg := checkpointConfig(1, 1)
 		cfg.Journal = j
-		in := chaos.New(seed).On(chaos.SiteJournalTorn, chaos.Rule{Action: chaos.ActTorn, Prob: 0.5})
+		in := chaos.New(seed).On(chaos.SiteStoreTorn, chaos.Rule{Action: chaos.ActTorn, Prob: 0.5})
 		restore := chaos.Install(in)
 		_, runErr := report.RunTable(bench, cfg)
-		fired := in.Fired(chaos.SiteJournalTorn)
+		fired := in.Fired(chaos.SiteStoreTorn)
 		restore()
 		j.Close()
 		assertTyped(t, fmt.Sprintf("seed%d", seed), runErr)

@@ -2,101 +2,174 @@ package report
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"syscall"
 
-	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/store"
 )
 
-// Journal is the checkpoint file behind hltsbench -resume: a JSON-lines
-// append log with one completed (benchmark, method, width) cell per line.
-// Cells are journaled as they commit, so a killed sweep loses at most the
-// cells still in flight; reopening the same path skips everything already
+// Journal is the checkpoint behind hltsbench -store/-resume: one
+// completed (benchmark, method, width) cell per record. Cells are
+// journaled as they commit, so a killed sweep loses at most the cells
+// still in flight; reopening the same path skips everything already
 // recorded. Because every cell is a deterministic function of its
 // (benchmark, method, width, seed, workers-invariant) inputs, a resumed
 // run renders byte-identically to an uninterrupted one.
+//
+// The Journal is a thin adapter over internal/store — the same
+// crash-safe, content-addressed segment log that backs the daemon's
+// persistent result cache — so "cache", "resume" and future shard
+// replication share one fsync/torn-write story. Each cell is keyed by
+// the canonical fingerprint of its coordinates and valued with the JSON
+// journalEntry; the in-memory done map is rebuilt from the store at open.
 //
 // Only complete cells are recorded: a Partial cell reflects an exhausted
 // budget, and replaying it on resume would freeze the degradation into
 // future runs. Partial cells are recomputed instead.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]Cell
-	torn bool // a failed write may have left a partial line on disk
+	mu    sync.Mutex
+	st    *store.Store
+	owned bool // Close closes the store only when the journal opened it
+	done  map[string]Cell
 }
 
-// journalEntry is one checkpoint line.
+// journalEntry is one checkpoint record's value.
 type journalEntry struct {
 	Bench string
 	Cell  Cell
 }
 
+// journalKey is the in-memory map key. The %q quoting makes it
+// unambiguous: ("a/b", "c") and ("a", "b/c") — which a plain
+// bench/method join would alias — quote to distinct keys.
 func journalKey(bench, method string, width int) string {
-	return fmt.Sprintf("%s/%s/%d", bench, method, width)
+	return fmt.Sprintf("%q/%q/%d", bench, method, width)
 }
 
-// OpenJournal opens (creating if needed) the checkpoint file at path,
-// loads every cell it already holds, and positions it for appending.
-// Corrupt or truncated trailing lines — the signature of a kill mid-write
-// — are skipped, not fatal: the affected cell is simply recomputed.
+// journalFP is the store key: the canonical length-prefixed fingerprint
+// of a cell's coordinates (collision-free for the same reason %q is —
+// core.Hasher.Str length-prefixes every string).
+func journalFP(bench, method string, width int) core.Fingerprint {
+	h := core.NewHasher()
+	h.Str("report.journal.cell")
+	h.Str(bench)
+	h.Str(method)
+	h.Int(width)
+	return h.Sum()
+}
+
+// OpenJournal opens (creating if needed) the checkpoint store at path —
+// a store directory — and loads every cell it holds. Corrupt or torn
+// records, the signature of a kill mid-write, are skipped, not fatal:
+// the affected cell is simply recomputed.
+//
+// A legacy single-file JSON-lines journal at path (the pre-store format)
+// is migrated in place: its cells are imported into a fresh store
+// directory at the same path and the old file removed. The import
+// tolerates corrupt lines of any size — including oversized ones that
+// used to abort the whole load with bufio.ErrTooLong.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	legacy := path + ".migrating"
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		// Park the old file under a temp name so the directory can take its
+		// place; a crash mid-migration re-imports on the next open (records
+		// are idempotent).
+		if err := os.Rename(path, legacy); err != nil {
+			return nil, err
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return nil, err
+		}
+	}
+	st, err := store.Open(path, store.Options{})
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, done: map[string]Cell{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
-		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			continue // torn write from a killed run; recompute that cell
+	j := &Journal{st: st, owned: true, done: map[string]Cell{}}
+	if _, err := os.Stat(legacy); err == nil {
+		if err := importLegacy(legacy, st); err != nil {
+			st.Close()
+			return nil, err
 		}
-		j.done[journalKey(e.Bench, e.Cell.Method, e.Cell.Width)] = e.Cell
+		os.Remove(legacy)
+		syncDir(filepath.Dir(path))
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	// A kill mid-write leaves the file without a trailing newline; seal it
-	// so the next Record starts on a fresh line instead of concatenating
-	// onto the torn fragment (which would corrupt that record too).
-	if st, err := f.Stat(); err == nil && st.Size() > 0 {
-		last := make([]byte, 1)
-		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
-			if _, err := f.Write([]byte("\n")); err != nil {
-				f.Close()
-				return nil, err
-			}
-			if err := f.Sync(); err != nil {
-				f.Close()
-				return nil, err
-			}
-		}
-	}
-	// Durability of the file itself: fsyncing the journal flushes its
-	// bytes, but a freshly created name lives in the directory, which has
-	// its own durability. Without this a crash immediately after
-	// OpenJournal can lose the whole file even though every Record synced.
-	if err := syncDir(path); err != nil {
-		f.Close()
-		return nil, err
-	}
+	j.load()
 	return j, nil
 }
 
-// syncDir fsyncs the parent directory of path, making a just-created (or
-// just-resealed) journal name durable. Filesystems that do not support
-// syncing a directory handle report EINVAL/ENOTSUP; those are ignored —
-// on such systems the directory sync is meaningless, not failed.
-func syncDir(path string) error {
-	d, err := os.Open(filepath.Dir(path))
+// NewJournal wraps an existing store (for callers co-locating checkpoint
+// cells with other results, e.g. a daemon sharing one store). Close
+// leaves the store open — the caller owns it.
+func NewJournal(st *store.Store) *Journal {
+	j := &Journal{st: st, done: map[string]Cell{}}
+	j.load()
+	return j
+}
+
+// load rebuilds the done map from the store. Records that are not valid
+// journal entries — foreign keys in a shared store, or values corrupted
+// beyond the store's own checksums — are skipped.
+func (j *Journal) load() {
+	j.st.Range(func(fp core.Fingerprint, val []byte) bool {
+		var e journalEntry
+		if err := json.Unmarshal(val, &e); err != nil {
+			return true
+		}
+		if journalFP(e.Bench, e.Cell.Method, e.Cell.Width) != fp {
+			return true // not one of ours
+		}
+		j.done[journalKey(e.Bench, e.Cell.Method, e.Cell.Width)] = e.Cell
+		return true
+	})
+}
+
+// importLegacy streams a pre-store JSON-lines journal into the store.
+// bufio.Reader.ReadBytes has no line-length ceiling, so a single
+// oversized corrupt line — which the old 4 MiB scanner buffer turned
+// into a fatal bufio.ErrTooLong for the whole checkpoint — now loses
+// only itself.
+func importLegacy(path string, st *store.Store) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if rec := bytes.TrimSuffix(line, []byte("\n")); len(rec) > 0 {
+			var e journalEntry
+			if jsonErr := json.Unmarshal(rec, &e); jsonErr == nil && !e.Cell.Partial {
+				if putErr := st.Put(journalFP(e.Bench, e.Cell.Method, e.Cell.Width), rec); putErr != nil {
+					return putErr
+				}
+			}
+			// Torn or corrupt lines are skipped; their cells recompute.
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// syncDir fsyncs a directory, making a just-renamed name durable.
+// Filesystems that do not support syncing a directory handle report
+// EINVAL/ENOTSUP; those are ignored — on such systems the directory sync
+// is meaningless, not failed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -116,10 +189,10 @@ func (j *Journal) Lookup(bench, method string, width int) (Cell, bool) {
 	return c, ok
 }
 
-// Record journals a completed cell, flushing it to disk before returning
-// so a kill immediately afterwards cannot lose it. Partial cells are
-// ignored (see the type comment). Recording is idempotent: a cell already
-// journaled is not rewritten.
+// Record journals a completed cell through the store, which flushes it
+// to disk before acknowledging — a kill immediately afterwards cannot
+// lose it. Partial cells are ignored (see the type comment). Recording
+// is idempotent: a cell already journaled is not rewritten.
 func (j *Journal) Record(bench string, c Cell) error {
 	if c.Partial {
 		return nil
@@ -130,43 +203,11 @@ func (j *Journal) Record(bench string, c Cell) error {
 	if _, ok := j.done[key]; ok {
 		return nil
 	}
-	line, err := json.Marshal(journalEntry{Bench: bench, Cell: c})
+	val, err := json.Marshal(journalEntry{Bench: bench, Cell: c})
 	if err != nil {
 		return err
 	}
-	// A write that failed earlier may have landed a prefix of its line (a
-	// short write). Seal the torn tail with a newline before this record,
-	// or the two lines merge into one unparseable line and this record —
-	// though acknowledged — is lost on reopen along with the fragment.
-	if j.torn {
-		if _, err := j.f.Write([]byte("\n")); err != nil {
-			return err
-		}
-		j.torn = false
-	}
-	// Chaos: a torn write puts a prefix of the record on disk with no
-	// newline — exactly what a kill mid-write leaves behind — then fails;
-	// the write site fails before any byte lands.
-	if cerr, fired := chaos.Fire(chaos.SiteJournalTorn); fired {
-		j.f.Write(line[:len(line)/2])
-		j.torn = true
-		return cerr
-	}
-	if err := chaos.Step(chaos.SiteJournalWrite); err != nil {
-		return err
-	}
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
-		j.torn = true
-		return err
-	}
-	// Chaos sync-failure: the bytes are in the file but durability was
-	// never confirmed, so the cell must not be marked done — it is
-	// recomputed, and the duplicate line is harmless (last line wins on
-	// reopen).
-	if err := chaos.Step(chaos.SiteJournalSync); err != nil {
-		return err
-	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.st.Put(journalFP(bench, c.Method, c.Width), val); err != nil {
 		return err
 	}
 	j.done[key] = c
@@ -180,5 +221,14 @@ func (j *Journal) Len() int {
 	return len(j.done)
 }
 
-// Close closes the underlying file.
-func (j *Journal) Close() error { return j.f.Close() }
+// Store returns the backing store (shared by Lookup/Record).
+func (j *Journal) Store() *store.Store { return j.st }
+
+// Close closes the backing store when the journal owns it (OpenJournal);
+// a journal wrapping a caller-provided store (NewJournal) leaves it open.
+func (j *Journal) Close() error {
+	if j.owned {
+		return j.st.Close()
+	}
+	return nil
+}

@@ -1,15 +1,20 @@
 package report
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/store"
 )
 
 // checkpointConfig is a small, fast table configuration shared by the
@@ -60,23 +65,40 @@ func TestKillAndResumeByteIdentical(t *testing.T) {
 	}
 	j.Close()
 
-	// Simulate the kill: keep the first two journal lines and append the
-	// torn fragment of a cell that was mid-write when the process died.
-	data, err := os.ReadFile(full)
-	if err != nil {
-		t.Fatal(err)
-	}
-	lines := strings.SplitAfter(string(data), "\n")
-	if len(lines) < 3 {
-		t.Fatalf("journal too short to truncate: %d lines", len(lines))
-	}
-	truncated := filepath.Join(dir, "killed.ckpt")
-	torn := lines[0] + lines[1] + `{"Bench":"ex","Cell":{"Method":"appr`
-	if err := os.WriteFile(truncated, []byte(torn), 0o644); err != nil {
-		t.Fatal(err)
+	// Simulate the kill: a checkpoint holding only the first two cells,
+	// with the torn tail of the record that was mid-write when the process
+	// died still in its newest segment.
+	mkKilled := func(t *testing.T, path string) {
+		t.Helper()
+		k, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range ref.Cells[:2] {
+			if err := k.Record(bench, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Close()
+		segs, err := filepath.Glob(filepath.Join(path, "seg-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("checkpoint store has no segments (%v)", err)
+		}
+		sort.Strings(segs)
+		f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A record prefix: valid magic, then EOF where the body should be.
+		if _, err := f.Write([]byte("hSg1\x14\x00\x00\x00")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
 	}
 
 	for _, workers := range []int{1, 8} {
+		truncated := filepath.Join(dir, fmt.Sprintf("killed-w%d.ckpt", workers))
+		mkKilled(t, truncated)
 		resumed, err := OpenJournal(truncated)
 		if err != nil {
 			t.Fatal(err)
@@ -107,10 +129,6 @@ func TestKillAndResumeByteIdentical(t *testing.T) {
 			t.Errorf("workers=%d: resumed journal holds %d cells, want %d", workers, reopened.Len(), want)
 		}
 		reopened.Close()
-		// Restore the truncated journal for the next worker count.
-		if err := os.WriteFile(truncated, []byte(torn), 0o644); err != nil {
-			t.Fatal(err)
-		}
 	}
 }
 
@@ -204,5 +222,149 @@ func TestJournalRecordSemantics(t *testing.T) {
 	got, ok = j2.Lookup("ex", core.MethodOurs, 8)
 	if !ok || got != cell {
 		t.Fatalf("reloaded cell %+v, want %+v", got, cell)
+	}
+}
+
+// TestJournalKeyCollision is the regression for the key-aliasing bug: a
+// plain bench/method join made ("a/b", "c") and ("a", "b/c") the same
+// cell, so recording one shadowed the other. Both coordinates must stay
+// distinct, in memory and across a reopen.
+func TestJournalKeyCollision(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "collide.ckpt")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Cell{Method: "c", Width: 1, Coverage: 0.25}
+	second := Cell{Method: "b/c", Width: 1, Coverage: 0.75}
+	if err := j.Record("a/b", first); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", second); err != nil {
+		t.Fatal(err)
+	}
+	check := func(j *Journal, when string) {
+		t.Helper()
+		if j.Len() != 2 {
+			t.Fatalf("%s: %d cells, want 2 — the coordinates aliased", when, j.Len())
+		}
+		if got, ok := j.Lookup("a/b", "c", 1); !ok || got != first {
+			t.Fatalf("%s: Lookup(a/b, c) = %+v, %v", when, got, ok)
+		}
+		if got, ok := j.Lookup("a", "b/c", 1); !ok || got != second {
+			t.Fatalf("%s: Lookup(a, b/c) = %+v, %v", when, got, ok)
+		}
+	}
+	check(j, "in memory")
+	j.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	check(j2, "after reopen")
+}
+
+// TestLegacyJournalMigration: a pre-store single-file JSON-lines journal
+// is imported in place on open. The regression half: one corrupt line
+// larger than the old 4 MiB scanner buffer used to abort the entire load
+// with bufio.ErrTooLong — now it loses only itself. Partial cells and
+// torn tails are likewise skipped, and valid cells on either side of the
+// damage survive.
+func TestLegacyJournalMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	line := func(bench string, c Cell) []byte {
+		b, err := json.Marshal(journalEntry{Bench: bench, Cell: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	keep1 := Cell{Method: core.MethodOurs, Width: 8, Coverage: 0.75, Area: 12.5}
+	keep2 := Cell{Method: core.MethodCAMAD, Width: 4, Coverage: 0.5}
+	var buf bytes.Buffer
+	buf.Write(line("ex", keep1))
+	buf.Write(bytes.Repeat([]byte{'x'}, 5<<20)) // > the old 4 MiB line ceiling
+	buf.WriteByte('\n')
+	buf.Write(line("ex", Cell{Method: core.MethodOurs, Width: 4, Partial: true}))
+	buf.Write(line("dct", keep2))
+	buf.WriteString(`{"Bench":"ex","Cell":{"Method":"appr`) // kill mid-write
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(path) // used to fail here with bufio.ErrTooLong
+	if err != nil {
+		t.Fatalf("migration of a damaged legacy journal failed: %v", err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("migrated %d cells, want 2", j.Len())
+	}
+	if got, ok := j.Lookup("ex", core.MethodOurs, 8); !ok || got != keep1 {
+		t.Errorf("cell before the corrupt line: %+v, %v", got, ok)
+	}
+	if got, ok := j.Lookup("dct", core.MethodCAMAD, 4); !ok || got != keep2 {
+		t.Errorf("cell after the corrupt line: %+v, %v", got, ok)
+	}
+	if _, ok := j.Lookup("ex", core.MethodOurs, 4); ok {
+		t.Error("partial cell survived migration")
+	}
+	j.Close()
+
+	// The file became a store directory; the parked original is gone; and
+	// a reopen (no migration this time) loads the same cells.
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		t.Fatalf("migrated path is not a store directory: %v %v", fi, err)
+	}
+	if _, err := os.Stat(path + ".migrating"); !os.IsNotExist(err) {
+		t.Errorf("legacy file still parked after migration: %v", err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Errorf("reopen after migration: %d cells, want 2", j2.Len())
+	}
+}
+
+// TestJournalSharesDaemonStore: NewJournal co-locates checkpoint cells
+// with foreign records in a caller-owned store — each side ignores the
+// other's keys, and Close leaves the store to its owner.
+func TestJournalSharesDaemonStore(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "shared"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// A foreign record, as the daemon's result cache would write.
+	h := core.NewHasher()
+	h.Str("server.result")
+	if err := st.Put(h.Sum(), []byte("\xc8\x00\x00\x00{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(st)
+	if j.Len() != 0 {
+		t.Fatalf("foreign record loaded as a cell: %d", j.Len())
+	}
+	cell := Cell{Method: core.MethodOurs, Width: 8, Coverage: 1}
+	if err := j.Record("ex", cell); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal did not close the shared store…
+	if err := st.Put(h.Sum(), []byte("\xc8\x00\x00\x00{}\n")); err != nil {
+		t.Fatalf("journal Close closed the caller's store: %v", err)
+	}
+	// …and a fresh adapter over it sees exactly the journal's cell.
+	j2 := NewJournal(st)
+	if got, ok := j2.Lookup("ex", core.MethodOurs, 8); !ok || got != cell {
+		t.Fatalf("shared-store cell: %+v, %v", got, ok)
+	}
+	if st.Len() != 2 {
+		t.Errorf("store holds %d records, want 2", st.Len())
 	}
 }

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func res(body string) result { return result{status: http.StatusOK, body: []byte(body)} }
+
+// TestLRUDisabledCapacities: zero and negative capacities are the
+// "cache off" configurations — add must be a no-op, never a panic or an
+// unbounded map.
+func TestLRUDisabledCapacities(t *testing.T) {
+	for _, capacity := range []int{0, -1, -128} {
+		c := newLRUCache(capacity)
+		for i := 0; i < 10; i++ {
+			c.add(fpOf("k", fmt.Sprint(i)), res("v"))
+		}
+		if c.l.Len() != 0 || len(c.m) != 0 {
+			t.Errorf("cap %d: cache holds %d/%d entries, want 0", capacity, c.l.Len(), len(c.m))
+		}
+		if _, ok := c.get(fpOf("k", "0")); ok {
+			t.Errorf("cap %d: disabled cache returned a hit", capacity)
+		}
+	}
+}
+
+// TestLRUUpdateExistingKey: re-adding a present key replaces its value
+// in place — no duplicate entry, no spurious eviction — and refreshes
+// its recency.
+func TestLRUUpdateExistingKey(t *testing.T) {
+	c := newLRUCache(2)
+	c.add(fpOf("a"), res("a1"))
+	c.add(fpOf("b"), res("b1"))
+	c.add(fpOf("a"), res("a2")) // update, not insert: b must survive
+	if c.l.Len() != 2 {
+		t.Fatalf("update created a duplicate: %d entries", c.l.Len())
+	}
+	if r, ok := c.get(fpOf("a")); !ok || string(r.body) != "a2" {
+		t.Fatalf("updated value not returned: %q %v", r.body, ok)
+	}
+	if _, ok := c.get(fpOf("b")); !ok {
+		t.Fatal("update of a evicted b")
+	}
+	// The update made a most-recent: adding c now evicts b, not a.
+	c.add(fpOf("a"), res("a3"))
+	c.add(fpOf("c"), res("c1"))
+	if _, ok := c.get(fpOf("a")); !ok {
+		t.Error("most-recently-updated key was evicted")
+	}
+	if _, ok := c.get(fpOf("b")); ok {
+		t.Error("least-recently-used key survived eviction")
+	}
+}
+
+// TestLRUEvictionOrderInterleaved: a get refreshes recency, so the
+// eviction victim is the least recently *touched* key, not the least
+// recently added.
+func TestLRUEvictionOrderInterleaved(t *testing.T) {
+	c := newLRUCache(3)
+	c.add(fpOf("a"), res("a"))
+	c.add(fpOf("b"), res("b"))
+	c.add(fpOf("c"), res("c"))
+	// Touch a (the oldest insert): b becomes the LRU.
+	if _, ok := c.get(fpOf("a")); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.add(fpOf("d"), res("d")) // evicts b
+	for _, want := range []struct {
+		key   string
+		alive bool
+	}{{"a", true}, {"b", false}, {"c", true}, {"d", true}} {
+		if _, ok := c.get(fpOf(want.key)); ok != want.alive {
+			t.Errorf("after interleaved get/add: %s alive=%v, want %v", want.key, ok, want.alive)
+		}
+	}
+	// The verification loop touched a, then c, then d, making a the
+	// least recently used again. A miss for a ghost key must not disturb
+	// recency, so the next add evicts a — not c or d.
+	c.get(fpOf("b"))
+	c.add(fpOf("e"), res("e"))
+	if _, ok := c.get(fpOf("a")); ok {
+		t.Error("eviction skipped the least recently touched key")
+	}
+	if c.l.Len() != 3 || len(c.m) != 3 {
+		t.Errorf("cache size drifted: list %d, map %d, want 3", c.l.Len(), len(c.m))
+	}
+}

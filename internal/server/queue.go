@@ -1,27 +1,32 @@
 // queue.go is the execution backbone of the daemon: a bounded job queue
 // with admission control, fingerprint-keyed coalescing of identical
-// in-flight requests, an LRU cache of completed results, and a
+// in-flight requests, an LRU cache of completed results backed by an
+// optional persistent content-addressed store, and a
 // drain-under-deadline shutdown path.
 //
 // Invariants:
 //
 //   - Admission is all-or-nothing under one mutex: a request is answered
-//     from the cache, attached to an identical in-flight job, or enqueued
-//     as a new job — and when the queue is full it is rejected
-//     immediately (ErrQueueFull -> HTTP 429), never buffered without
-//     bound.
+//     from the cache (LRU first, then the persistent store), attached to
+//     an identical in-flight job, or enqueued as a new job — and when the
+//     queue is full it is rejected immediately (ErrQueueFull -> HTTP
+//     429), never buffered without bound.
 //   - A job's context is cancelled when its last waiter disconnects
 //     (dropped connections cancel their computation) and when the drain
 //     deadline passes (in-flight jobs degrade to StatusPartial results
 //     via the library's budget semantics).
-//   - Only complete (StatusComplete, HTTP 200) results enter the cache:
-//     partial results depend on timing and would break the byte-identical
-//     response contract.
+//   - Only complete (StatusComplete, HTTP 200) results enter the cache or
+//     the store: partial results depend on timing and would break the
+//     byte-identical response contract.
+//   - The store is an accelerator, never a dependency: a store fault
+//     (I/O error, injected chaos, even a panic) surfaces as a counter and
+//     a recompute, never a failed request or a crashed daemon.
 package server
 
 import (
 	"container/list"
 	"context"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"time"
@@ -30,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Admission errors.
@@ -73,13 +79,15 @@ type queue struct {
 	mu       sync.Mutex
 	inflight map[core.Fingerprint]*job
 	cache    *lruCache
+	store    *store.Store // optional durable L2 behind the LRU
 	draining bool
 
 	wg sync.WaitGroup // worker goroutines
 }
 
-// newQueue builds the queue and starts `workers` job-runner goroutines.
-func newQueue(depth, workers, cacheSize int, st *stats.Stats) *queue {
+// newQueue builds the queue, warms the LRU from the persistent store
+// (when one is given), and starts `workers` job-runner goroutines.
+func newQueue(depth, workers, cacheSize int, st *stats.Stats, stor *store.Store) *queue {
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &queue{
 		st:         st,
@@ -88,12 +96,87 @@ func newQueue(depth, workers, cacheSize int, st *stats.Stats) *queue {
 		baseCancel: cancel,
 		inflight:   map[core.Fingerprint]*job{},
 		cache:      newLRUCache(cacheSize),
+		store:      stor,
 	}
+	q.warm(cacheSize)
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
 	}
 	return q
+}
+
+// warm preloads up to cap LRU entries from the persistent store, so a
+// restarted daemon serves repeat traffic hot from the first request.
+// Store records beyond the LRU capacity still hit via the submit-time
+// store lookup.
+func (q *queue) warm(capacity int) {
+	if q.store == nil || capacity < 1 {
+		return
+	}
+	defer q.recoverStore()
+	n := 0
+	q.store.Range(func(fp core.Fingerprint, val []byte) bool {
+		r, ok := decodeResult(val)
+		if !ok {
+			return true
+		}
+		q.cache.add(fp, r)
+		n++
+		return n < capacity
+	})
+	q.st.Add("server.store.warmed", int64(n))
+}
+
+// encodeResult frames a completed result for the store: the HTTP status
+// followed by the canonical body bytes.
+func encodeResult(r result) []byte {
+	buf := make([]byte, 4+len(r.body))
+	binary.LittleEndian.PutUint32(buf, uint32(r.status))
+	copy(buf[4:], r.body)
+	return buf
+}
+
+func decodeResult(v []byte) (result, bool) {
+	if len(v) < 4 {
+		return result{}, false
+	}
+	status := int(binary.LittleEndian.Uint32(v))
+	if status < 100 || status > 599 {
+		return result{}, false
+	}
+	return result{status: status, body: append([]byte(nil), v[4:]...)}, true
+}
+
+// recoverStore is the store-is-never-a-dependency backstop: a panicking
+// store call (injected chaos, or a real defect) is swallowed into a
+// counter so the request path degrades to a recompute.
+func (q *queue) recoverStore() {
+	if rec := recover(); rec != nil {
+		q.st.Add("server.store.error", 1)
+	}
+}
+
+// storeGet consults the persistent store; misses, decode failures and
+// store faults all come back as a plain miss.
+func (q *queue) storeGet(fp core.Fingerprint) (r result, ok bool) {
+	defer q.recoverStore()
+	v, hit := q.store.Get(fp)
+	if !hit {
+		return result{}, false
+	}
+	return decodeResult(v)
+}
+
+// storePut writes a completed result through to the persistent store.
+// Failures are counted, never propagated: the response has its in-memory
+// path regardless, and an unacknowledged record is simply recomputed
+// after the next boot.
+func (q *queue) storePut(fp core.Fingerprint, r result) {
+	defer q.recoverStore()
+	if err := q.store.Put(fp, encodeResult(r)); err != nil {
+		q.st.Add("server.store.error", 1)
+	}
 }
 
 // submit admits one request. Exactly one of the returns is meaningful:
@@ -109,6 +192,18 @@ func (q *queue) submit(fp core.Fingerprint, kind string, deadline time.Duration,
 	if r, ok := q.cache.get(fp); ok {
 		q.st.Add("server.cache.hit", 1)
 		return nil, &r, nil
+	}
+	if q.store != nil {
+		// Durable L2: results evicted from the LRU (or written by an
+		// earlier incarnation of the daemon and not warmed) are still one
+		// verified read away. The read is small and bounded, so holding the
+		// admission mutex across it keeps the all-or-nothing invariant
+		// without measurable contention.
+		if r, ok := q.storeGet(fp); ok {
+			q.cache.add(fp, r)
+			q.st.Add("server.store.hit", 1)
+			return nil, &r, nil
+		}
 	}
 	q.st.Add("server.cache.miss", 1)
 	if j := q.inflight[fp]; j != nil {
@@ -172,6 +267,13 @@ func (q *queue) worker() {
 		status, body, cacheable := q.runJob(j)
 		q.st.ObserveSince("server.job."+j.kind+".latency", start)
 		j.res = result{status: status, body: body}
+		// Write through to the persistent store before publishing, outside
+		// the admission mutex (Put fsyncs): once waiters see the result it
+		// is already durable, so a restarted daemon serves it without
+		// recomputing.
+		if cacheable && q.store != nil {
+			q.storePut(j.fp, j.res)
+		}
 		q.mu.Lock()
 		if cacheable {
 			q.cache.add(j.fp, j.res)

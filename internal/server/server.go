@@ -43,6 +43,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Config tunes the daemon.
@@ -66,6 +67,14 @@ type Config struct {
 	RetryAfter time.Duration
 	// Validate runs the structural invariant checkers inside every job.
 	Validate bool
+	// Store, when non-nil, is the persistent content-addressed result
+	// store (see internal/store): the LRU is warmed from it at
+	// construction, every StatusComplete result is written through, and
+	// submit-time misses consult it before recomputing — so a restarted
+	// daemon serves a repeat workload at its prior hit rate. The caller
+	// owns the store and closes it after Drain. Store faults degrade to
+	// recomputes (counted as server.store.error), never failed requests.
+	Store *store.Store
 	// Stats receives the server's counters, timers and latency
 	// histograms; a fresh collector is created when nil.
 	Stats *stats.Stats
@@ -105,7 +114,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		st:    cfg.Stats,
-		q:     newQueue(cfg.QueueDepth, outer, cfg.CacheSize, cfg.Stats),
+		q:     newQueue(cfg.QueueDepth, outer, cfg.CacheSize, cfg.Stats, cfg.Store),
 		inner: inner,
 		mux:   http.NewServeMux(),
 	}
@@ -168,6 +177,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, kind string, sta
 func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, kind string, fp core.Fingerprint, deadlineMS int, run func(ctx context.Context) (int, []byte, bool)) {
 	start := time.Now()
 	if err := chaos.Step(chaos.SiteServerAccept); err != nil {
+		s.setRetryAfter(w)
 		s.writeError(w, kind, start, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -178,10 +188,14 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, kind string, f
 	j, cached, err := s.q.submit(fp, kind, deadline, run)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.setRetryAfter(w)
 		s.writeError(w, kind, start, http.StatusTooManyRequests, err)
 		return
 	case err != nil: // ErrDraining or an injected enqueue fault
+		// 503s carry the same backoff hint as 429s: a draining daemon is
+		// typically restarting, so well-behaved clients should retry after
+		// the hint rather than hammering or giving up.
+		s.setRetryAfter(w)
 		s.writeError(w, kind, start, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -199,6 +213,12 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, kind string, f
 		s.q.detach(j)
 		s.st.Add("server.requests.dropped", 1)
 	}
+}
+
+// setRetryAfter attaches the configured backoff hint, rounded up to
+// whole seconds; every 429 and 503 carries it.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 }
 
 // write sends a response, firing the respond chaos site and recording
@@ -427,5 +447,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE hlts_server_queue_queued gauge\nhlts_server_queue_queued %d\n", queued)
 	fmt.Fprintf(w, "# TYPE hlts_server_queue_capacity gauge\nhlts_server_queue_capacity %d\n", s.cfg.QueueDepth)
 	fmt.Fprintf(w, "# TYPE hlts_server_inflight_jobs gauge\nhlts_server_inflight_jobs %d\n", inflight)
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		fmt.Fprintf(w, "# TYPE hlts_server_store_records gauge\nhlts_server_store_records %d\n", st.Records)
+		fmt.Fprintf(w, "# TYPE hlts_server_store_live_bytes gauge\nhlts_server_store_live_bytes %d\n", st.LiveBytes)
+		fmt.Fprintf(w, "# TYPE hlts_server_store_dead_bytes gauge\nhlts_server_store_dead_bytes %d\n", st.DeadBytes)
+	}
 	s.st.WriteText(w)
 }

@@ -359,7 +359,7 @@ func TestAdmissionControl(t *testing.T) {
 func TestDroppedConnectionCancelsJob(t *testing.T) {
 	base := runtime.NumGoroutine()
 	st := stats.New()
-	q := newQueue(4, 1, -1, st)
+	q := newQueue(4, 1, -1, st, nil)
 	j, _, err := q.submit(fpOf("orphan"), "synthesize", time.Minute, func(ctx context.Context) (int, []byte, bool) {
 		<-ctx.Done() // runs until cancelled — the detach must stop it
 		return http.StatusOK, []byte("{}\n"), false
@@ -388,7 +388,7 @@ func TestDroppedConnectionCancelsJob(t *testing.T) {
 func TestDrainDegradesToPartial(t *testing.T) {
 	base := runtime.NumGoroutine()
 	st := stats.New()
-	q := newQueue(4, 1, -1, st)
+	q := newQueue(4, 1, -1, st, nil)
 	started := make(chan struct{})
 	j, _, err := q.submit(fpOf("slow"), "table", time.Minute, func(ctx context.Context) (int, []byte, bool) {
 		close(started)
@@ -524,8 +524,14 @@ func TestHealthAndMetrics(t *testing.T) {
 	if status, body := get(t, ts.Client(), ts.URL+"/healthz"); status != 503 || !strings.Contains(string(body), "draining") {
 		t.Errorf("healthz while draining: %d %s", status, body)
 	}
-	if status, _, body := post(t, ts.Client(), ts.URL+"/v1/synthesize", `{"bench":"ex","width":4}`); status != 503 {
+	status, h, body := post(t, ts.Client(), ts.URL+"/v1/synthesize", `{"bench":"ex","width":4}`)
+	if status != 503 {
 		t.Errorf("submit while draining: %d %s", status, body)
+	}
+	// A drain-window 503 is as retryable as a full-queue 429 and must
+	// carry the same backoff hint.
+	if h.Get("Retry-After") == "" {
+		t.Error("draining 503 without Retry-After")
 	}
 }
 
