@@ -302,6 +302,7 @@ func BenchmarkFaultSimParallel(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var det int
 			for i := 0; i < b.N; i++ {
 				r, err := logicsim.FaultSimWorkers(nl.C, flist, vectors, workers)
@@ -314,6 +315,93 @@ func BenchmarkFaultSimParallel(b *testing.B) {
 			b.ReportMetric(float64(len(flist)), "faults")
 		})
 	}
+}
+
+// BenchmarkBIST measures the BIST session evaluator on the 4-bit Diffeq
+// design at 1 lane (the historical single-session evaluator) and 64
+// lanes (PPSFP: all simulator lanes carry independent sessions). Both
+// sub-benchmarks spend the same simulation passes per fault, so
+// passes/session — the simulation cost per pseudorandom session — drops
+// 64x at lanes=64; CI records both rows (with allocs) in
+// BENCH_synth.json.
+func BenchmarkBIST(b *testing.B) {
+	g, err := LoadBenchmark(BenchDiffeq, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := DefaultParams(4)
+	par.LoopSignal = "exit"
+	res, err := Synthesize(g, par)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tpg, misr := SelectBISTRegisters(res, 2, 2)
+	nl, err := GenerateNetlistWithBIST(res, 4, tpg, misr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lanes := range []int{1, 64} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			var out *atpg.BISTOutcome
+			for i := 0; i < b.N; i++ {
+				out, err = RunBISTCfg(nl, 200, 100, BISTConfig{Lanes: lanes})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*out.Coverage, "cov%")
+			b.ReportMetric(float64(out.Passes)/float64(out.Evaluated*out.Lanes), "passes/session")
+		})
+	}
+}
+
+// BenchmarkSimEval and BenchmarkSimStep measure the logic-sim inner loop
+// on the 4-bit Ex netlist; both must report 0 allocs/op (the reused
+// output-buffer contract the fault-simulation loops rely on), which CI
+// records in BENCH_synth.json.
+func BenchmarkSimEval(b *testing.B) {
+	s, pi := benchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Eval(pi)
+	}
+}
+
+func BenchmarkSimStep(b *testing.B) {
+	s, pi := benchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(pi)
+	}
+}
+
+func benchSim(b *testing.B) (*logicsim.Sim, []uint64) {
+	b.Helper()
+	g, err := dfg.ByName(dfg.BenchEx, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(g, core.DefaultParams(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := rtl.Generate(res.Design, 4, rtl.NormalMode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := logicsim.New(nl.C)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pi := make([]uint64, len(nl.C.Inputs))
+	rng := rand.New(rand.NewSource(1998))
+	for i := range pi {
+		pi[i] = rng.Uint64()
+	}
+	return s, pi
 }
 
 // Example of the facade API in documentation form.

@@ -39,6 +39,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the (k, alpha, beta) parameter sweep")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
 		scanFlg  = flag.Bool("scan", false, "run the partial-scan extension study")
+		bistFlg  = flag.Bool("bist", false, "run the BIST lane-parallel (PPSFP) extension study")
 		all      = flag.Bool("all", false, "run every table, figure, sweep and ablation")
 		widths   = flag.String("widths", "4,8,16", "comma-separated bit widths")
 		seed     = flag.Int64("seed", 1998, "experiment seed")
@@ -204,6 +205,15 @@ func main() {
 		ran = true
 		fmt.Println("--- Partial-scan extension study (diffeq, 4-bit) ---")
 		text, err := report.ScanStudy(dfg.BenchDiffeq, 4, 4, *seed, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	}
+	if *all || *bistFlg {
+		ran = true
+		fmt.Println("--- BIST lane-parallel study (diffeq, 4-bit) ---")
+		text, err := report.BISTStudy(dfg.BenchDiffeq, 4, 2, 2, []int{100, 400}, *faults, uint64(*seed), *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -196,11 +196,18 @@ func GenerateNetlistWithBIST(r *Result, width int, tpg, misr []int) (*Netlist, e
 	return rtl.GenerateBIST(r.Design, width, rtl.NormalMode, tpg, misr)
 }
 
+// BISTConfig tunes a BIST session (see atpg.BISTConfig): lane count
+// (independent pseudorandom sessions per simulation pass), stimulus seed
+// and TPG registers for per-lane seeding.
+type BISTConfig = atpg.BISTConfig
+
 // RunBIST evaluates a BIST netlist: the self-test session free-runs for
 // the given cycles and a fault counts as detected when its final MISR
-// signature differs from the good machine's.
+// signature differs from the good machine's in any lane. All 64
+// simulator lanes carry independent sessions (PPSFP); use RunBISTCfg
+// with Lanes: 1 for the historical single-session semantics.
 func RunBIST(n *Netlist, sampleFaults, cycles int) (*atpg.BISTOutcome, error) {
-	return atpg.RunBIST(n.C, sampleFaults, cycles)
+	return RunBISTCfg(n, sampleFaults, cycles, BISTConfig{})
 }
 
 // RunBISTCtx is RunBIST under a context: on cancellation or deadline the
@@ -208,7 +215,22 @@ func RunBIST(n *Netlist, sampleFaults, cycles int) (*atpg.BISTOutcome, error) {
 // the faults evaluated so far with Status == StatusPartial, like every
 // other cancellable job in the system.
 func RunBISTCtx(ctx context.Context, n *Netlist, sampleFaults, cycles int) (*atpg.BISTOutcome, error) {
-	return atpg.RunBISTCtx(ctx, n.C, sampleFaults, cycles)
+	return RunBISTCfgCtx(ctx, n, sampleFaults, cycles, BISTConfig{})
+}
+
+// RunBISTCfg is RunBIST with explicit session configuration. When
+// cfg.TPGRegs is nil the netlist's recorded TPG registers are used, so
+// multi-lane sessions de-phase the on-chip pattern generators per lane.
+func RunBISTCfg(n *Netlist, sampleFaults, cycles int, cfg BISTConfig) (*atpg.BISTOutcome, error) {
+	return RunBISTCfgCtx(context.Background(), n, sampleFaults, cycles, cfg)
+}
+
+// RunBISTCfgCtx is RunBISTCfg under a context (see RunBISTCtx).
+func RunBISTCfgCtx(ctx context.Context, n *Netlist, sampleFaults, cycles int, cfg BISTConfig) (*atpg.BISTOutcome, error) {
+	if cfg.TPGRegs == nil {
+		cfg.TPGRegs = n.BISTTpg
+	}
+	return atpg.RunBISTCfgCtx(ctx, n.C, sampleFaults, cycles, cfg)
 }
 
 // DefaultATPGConfig returns the campaign settings used by the experiment

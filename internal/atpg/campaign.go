@@ -183,21 +183,6 @@ type Result struct {
 	TestSet [][][]uint64
 }
 
-// extractLane narrows a 64-lane vector sequence to the single pattern
-// lane `lane`: the returned sequence has one word per primary input per
-// cycle with only bit 0 meaningful, the format Result.TestSet retains.
-func extractLane(vectors [][]uint64, lane int) [][]uint64 {
-	out := make([][]uint64, len(vectors))
-	for t, v := range vectors {
-		row := make([]uint64, len(v))
-		for i, w := range v {
-			row[i] = (w >> uint(lane)) & 1
-		}
-		out[t] = row
-	}
-	return out
-}
-
 // Detected returns the total number of detected faults.
 func (r *Result) Detected() int { return r.RandomDetected + r.DetDetected }
 
@@ -257,14 +242,7 @@ func RunCtx(ctx context.Context, c *gates.Circuit, cfg Config) (*Result, error) 
 			exhausted = exec.BudgetDeadline
 			break
 		}
-		vectors := make([][]uint64, cfg.SeqLen)
-		for t := range vectors {
-			v := make([]uint64, len(c.Inputs))
-			for i := range v {
-				v[i] = rng.Uint64()
-			}
-			vectors[t] = v
-		}
+		vectors := wideVectors(cfg.SeqLen, len(c.Inputs), rng.Uint64)
 		lanes, evals, err := randomBatch(c, flist, detected, vectors, cfg.Workers)
 		if err != nil {
 			return nil, err
@@ -605,18 +583,8 @@ func count(bs []bool) int {
 func Replay(c *gates.Circuit, testSet [][][]uint64, flist []fault.Fault) (int, error) {
 	detected := make([]bool, len(flist))
 	for _, seq := range testSet {
-		// Widen single-lane vectors back to full words (lane 0).
-		wide := make([][]uint64, len(seq))
-		for t, row := range seq {
-			w := make([]uint64, len(row))
-			for i, b := range row {
-				if b&1 != 0 {
-					w[i] = ^uint64(0)
-				}
-			}
-			wide[t] = w
-		}
-		if _, err := logicsim.FaultSimIncremental(c, flist, detected, nil, wide, 0); err != nil {
+		// Widen single-lane vectors back to full words.
+		if _, err := logicsim.FaultSimIncremental(c, flist, detected, nil, widenLane(seq), 0); err != nil {
 			return 0, err
 		}
 	}

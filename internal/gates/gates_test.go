@@ -324,3 +324,52 @@ func TestDepthMultiplierGrowsWithWidth(t *testing.T) {
 		t.Error("multiplier depth must grow with width")
 	}
 }
+
+// LFSRSeedWords packs per-lane seeds transposed: bit l of word i must be
+// bit i of lane l's SplitMix64-derived seed, lane 0 must stay at the
+// hardware reset state, and seeds must respect the register width.
+func TestLFSRSeedWords(t *testing.T) {
+	const w, lanes = 4, 64
+	words := LFSRSeedWords(w, lanes, 1998)
+	if len(words) != w {
+		t.Fatalf("%d words for a %d-bit register", len(words), w)
+	}
+	laneSeed := func(l int) uint64 {
+		var s uint64
+		for i := 0; i < w; i++ {
+			if words[i]&(1<<uint(l)) != 0 {
+				s |= 1 << uint(i)
+			}
+		}
+		return s
+	}
+	if laneSeed(0) != 0 {
+		t.Errorf("lane 0 seed %#x, want the all-zero reset state", laneSeed(0))
+	}
+	for l := 1; l < lanes; l++ {
+		want := SplitMix64(1998+uint64(l)) & (1<<w - 1)
+		if laneSeed(l) != want {
+			t.Errorf("lane %d seed %#x, want %#x", l, laneSeed(l), want)
+		}
+	}
+	// Distinct base seeds give distinct lane seeds (mixing sanity).
+	other := LFSRSeedWords(w, lanes, 1999)
+	same := true
+	for i := range words {
+		if words[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different base seeds produced identical seed words")
+	}
+	// Degenerate widths and lane counts must not panic.
+	if got := LFSRSeedWords(0, 64, 1); len(got) != 0 {
+		t.Errorf("width 0: %v", got)
+	}
+	for _, word := range LFSRSeedWords(3, 1, 7) {
+		if word != 0 {
+			t.Error("single-lane seeding must keep the reset state")
+		}
+	}
+}

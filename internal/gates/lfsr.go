@@ -65,6 +65,47 @@ func (b *Builder) LFSRNext(q Word) Word {
 	return next
 }
 
+// SplitMix64 is the standard splitmix64 finalizer: a cheap, well-mixed
+// seed-derivation function. The BIST evaluator uses it to derive one
+// distinct pseudorandom stream (and LFSR start state) per simulator lane
+// from a single base seed.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// LFSRSeedWords spreads `lanes` distinct start states of a w-bit LFSR
+// into per-bit simulator words: bit l of word i carries bit i of lane
+// l's seed, the transposed layout a 64-way bit-parallel simulator loads
+// into the register's DFF state. Lane 0 keeps the all-zero hardware
+// reset state — the zero-escape of LFSRNext makes it a sequence member —
+// so lane 0 always replays the unseeded session; lanes 1..lanes-1 start
+// at SplitMix64-derived states, giving each simulator lane a distinct
+// phase of the pattern sequence (the PPSFP lane-seeding scheme).
+func LFSRSeedWords(w, lanes int, seed uint64) []uint64 {
+	words := make([]uint64, w)
+	if w <= 0 {
+		return words
+	}
+	if lanes > 64 {
+		lanes = 64
+	}
+	for l := 1; l < lanes; l++ {
+		s := SplitMix64(seed + uint64(l))
+		for i := 0; i < w; i++ {
+			if s&(1<<uint(i)) != 0 {
+				words[i] |= 1 << uint(l)
+			}
+		}
+	}
+	return words
+}
+
 // MISRNext builds the next-state logic of a multiple-input signature
 // register: an LFSR whose every stage additionally absorbs one response
 // bit. The final register contents are the test signature.

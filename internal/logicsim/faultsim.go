@@ -34,6 +34,11 @@ func (r *FaultSimResult) Coverage() float64 {
 //
 // FaultSim uses one worker per CPU; see FaultSimWorkers for the knob. The
 // result is bit-identical at every worker count.
+//
+// The per-fault inner loop is allocation-free: the golden rows are
+// computed once by Run, each worker's Sim reuses its output buffer
+// across Step calls, and a fault's outputs are compared against the
+// shared golden row in place — nothing is copied per fault.
 func FaultSim(c *gates.Circuit, flist []fault.Fault, vectors [][]uint64) (*FaultSimResult, error) {
 	return FaultSimWorkers(c, flist, vectors, 0)
 }

@@ -18,6 +18,7 @@ type Sim struct {
 	order []int
 	vals  []uint64
 	state []uint64 // per DFF index
+	po    []uint64 // Eval output buffer, reused across calls
 	dffIx map[int]int
 	// Fault, when non-nil, is injected during evaluation (all 64 patterns).
 	Fault *fault.Fault
@@ -37,6 +38,7 @@ func New(c *gates.Circuit) (*Sim, error) {
 		C: c, order: order,
 		vals:  make([]uint64, len(c.Gates)),
 		state: make([]uint64, len(c.DFFs)),
+		po:    make([]uint64, len(c.Outputs)),
 		dffIx: dffIx,
 	}, nil
 }
@@ -70,8 +72,11 @@ func (s *Sim) pinVal(g *gates.Gate, pin int) uint64 {
 
 // Eval evaluates the combinational logic for the given primary-input
 // words (one word per PI, in circuit input order) against the current DFF
-// state, and returns the primary-output words. The result slice is reused
-// across calls.
+// state, and returns the primary-output words. The returned slice is a
+// per-Sim buffer, overwritten by the next Eval or Step call — callers
+// that keep outputs across calls must copy them (Run does). Steady-state
+// Eval performs no allocations; the fault-simulation inner loops depend
+// on that.
 func (s *Sim) Eval(pi []uint64) []uint64 {
 	if len(pi) != len(s.C.Inputs) {
 		panic(fmt.Sprintf("logicsim: %d input words for %d PIs", len(pi), len(s.C.Inputs)))
@@ -128,15 +133,15 @@ func (s *Sim) Eval(pi []uint64) []uint64 {
 		}
 		s.vals[id] = v
 	}
-	po := make([]uint64, len(s.C.Outputs))
 	for i, id := range s.C.Outputs {
-		po[i] = s.vals[id]
+		s.po[i] = s.vals[id]
 	}
-	return po
+	return s.po
 }
 
 // Step evaluates the combinational logic and then clocks every DFF,
-// returning the primary outputs observed before the clock edge.
+// returning the primary outputs observed before the clock edge. Like
+// Eval, the returned slice is the Sim's reused output buffer.
 func (s *Sim) Step(pi []uint64) []uint64 {
 	po := s.Eval(pi)
 	for i, id := range s.C.DFFs {
@@ -150,13 +155,19 @@ func (s *Sim) Step(pi []uint64) []uint64 {
 }
 
 // Run resets the simulator and applies a vector sequence, returning the
-// outputs of every cycle. vectors[t] holds one word per PI.
+// outputs of every cycle. vectors[t] holds one word per PI. The rows are
+// copies (they stay valid across later Eval/Step calls), carved from one
+// flat backing array so a whole golden run costs two allocations.
 func (s *Sim) Run(vectors [][]uint64) [][]uint64 {
 	s.Reset()
+	nPO := len(s.C.Outputs)
 	out := make([][]uint64, len(vectors))
+	flat := make([]uint64, len(vectors)*nPO)
 	for t, v := range vectors {
 		po := s.Step(v)
-		out[t] = append([]uint64(nil), po...)
+		row := flat[t*nPO : (t+1)*nPO : (t+1)*nPO]
+		copy(row, po)
+		out[t] = row
 	}
 	return out
 }

@@ -101,13 +101,62 @@ func TestCounterSequence(t *testing.T) {
 			t.Fatalf("cycle %d: q = %d, want %d", cyc, q, want)
 		}
 	}
-	// With enable low, the counter holds.
+	// With enable low, the counter holds. Step returns the Sim's reused
+	// output buffer, so the first observation must be saved by value
+	// before the next Step overwrites it.
 	s.Reset()
-	s.Step([]uint64{en})       // q: 0 -> 1
-	po := s.Step([]uint64{0})  // observe 1, hold
-	po2 := s.Step([]uint64{0}) // still 1
-	if po[0] != po2[0] {
+	s.Step([]uint64{en})         // q: 0 -> 1
+	q1 := s.Step([]uint64{0})[0] // observe 1, hold
+	if q2 := s.Step([]uint64{0})[0]; q1 != q2 {
 		t.Error("counter did not hold with enable low")
+	}
+}
+
+// Eval and Step must reuse the per-Sim output buffer — the documented
+// contract the fault-simulation and BIST inner loops rely on for their
+// zero-allocation steady state.
+func TestEvalStepZeroAllocSteadyState(t *testing.T) {
+	c := buildCounter(t)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := []uint64{^uint64(0)}
+	first := s.Eval(pi)
+	if again := s.Eval(pi); &again[0] != &first[0] {
+		t.Error("Eval did not reuse its output buffer")
+	}
+	if n := testing.AllocsPerRun(200, func() { s.Eval(pi) }); n != 0 {
+		t.Errorf("Eval allocates %.1f objects per call in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { s.Step(pi) }); n != 0 {
+		t.Errorf("Step allocates %.1f objects per call in steady state, want 0", n)
+	}
+}
+
+// Run's rows must be copies: still valid after later Eval/Step calls
+// overwrite the shared output buffer.
+func TestRunRowsSurviveLaterSteps(t *testing.T) {
+	c := buildCounter(t)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := [][]uint64{{^uint64(0)}, {^uint64(0)}, {^uint64(0)}}
+	out := s.Run(vecs)
+	want := make([][]uint64, len(out))
+	for t2, row := range out {
+		want[t2] = append([]uint64(nil), row...)
+	}
+	for i := 0; i < 5; i++ {
+		s.Step([]uint64{^uint64(0)})
+	}
+	for t2 := range out {
+		for k := range out[t2] {
+			if out[t2][k] != want[t2][k] {
+				t.Fatalf("Run row %d mutated by later Step calls", t2)
+			}
+		}
 	}
 }
 

@@ -322,3 +322,49 @@ func ScanStudy(bench string, width, maxScan int, seed int64, workers int) (strin
 	}
 	return b.String(), nil
 }
+
+// BISTStudy measures the built-in self-test extension: fault coverage and
+// simulation cost of a self-test session at 1 lane (the historical
+// single-session evaluator) and at 64 lanes (PPSFP — every simulator lane
+// carries an independent pseudorandom session), over increasing session
+// lengths. passes/session is the number of whole-circuit simulation
+// passes spent per pseudorandom session: the lane-parallel evaluator
+// divides it by the lane count. `workers` is the goroutine budget of the
+// synthesis (the session replay itself is sequential).
+func BISTStudy(bench string, width, nTpg, nMisr int, cyclesList []int, faults int, seed uint64, workers int) (string, error) {
+	g, err := dfg.ByName(bench, width)
+	if err != nil {
+		return "", err
+	}
+	par := core.DefaultParams(width)
+	par.LoopSignal = loopSignalFor(bench)
+	par.Workers = workers
+	res, err := core.Synthesize(g, par)
+	if err != nil {
+		return "", err
+	}
+	tpg, misr := scan.SelectBIST(res.Design, res.Metrics, nTpg, nMisr)
+	nl, err := rtl.GenerateBIST(res.Design, width, rtl.NormalMode, tpg, misr)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "BIST on %s (%d-bit): TPG %v, MISR %v, %d sampled faults\n",
+		bench, width, tpg, misr, faults)
+	fmt.Fprintf(&b, "%-8s %6s %12s %16s\n", "cycles", "lanes", "coverage", "passes/session")
+	for _, cycles := range cyclesList {
+		for _, lanes := range []int{1, 64} {
+			out, err := atpg.RunBISTCfg(nl.C, faults, cycles,
+				atpg.BISTConfig{Lanes: lanes, Seed: seed, TPGRegs: nl.BISTTpg})
+			if err != nil {
+				return "", err
+			}
+			pps := 0.0
+			if out.Evaluated > 0 {
+				pps = float64(out.Passes) / float64(out.Evaluated*out.Lanes)
+			}
+			fmt.Fprintf(&b, "%-8d %6d %11.2f%% %16.2f\n", cycles, lanes, 100*out.Coverage, pps)
+		}
+	}
+	return b.String(), nil
+}

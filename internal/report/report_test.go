@@ -159,6 +159,18 @@ func TestScanStudy(t *testing.T) {
 	}
 }
 
+func TestBISTStudy(t *testing.T) {
+	text, err := BISTStudy(dfg.BenchTseng, 4, 1, 1, []int{24}, 40, 1998, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BIST on", "passes/session", "lanes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("BIST study missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestTableJSON(t *testing.T) {
 	tbl := &Table{Title: "t", Benchmark: "tseng", Cells: []Cell{{Method: "ours", Width: 4, Coverage: 0.9}}}
 	data, err := tbl.JSON()

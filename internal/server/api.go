@@ -186,6 +186,10 @@ type BISTRequest struct {
 	MISR   int `json:"misr"`
 	Cycles int `json:"cycles,omitempty"` // default 100
 	Faults int `json:"faults,omitempty"` // sample size, default 400
+	// Lanes is the number of parallel pseudorandom sessions evaluated per
+	// simulation pass, 1..64; default 64. 1 reproduces the historical
+	// single-session evaluator.
+	Lanes int `json:"lanes,omitempty"`
 }
 
 // NormTestDesign is a normalized test-design request.
@@ -228,6 +232,12 @@ func (r TestDesignRequest) Normalize() (*NormTestDesign, error) {
 		if b.Faults == 0 {
 			b.Faults = 400
 		}
+		if b.Lanes == 0 {
+			b.Lanes = 64
+		}
+		if b.Lanes < 1 || b.Lanes > 64 {
+			return nil, fmt.Errorf("bist lanes must be 1..64 (got %d)", b.Lanes)
+		}
 		n.BIST = &b
 	}
 	return n, nil
@@ -255,6 +265,7 @@ func (n *NormTestDesign) Fingerprint() core.Fingerprint {
 		h.Int(n.BIST.MISR)
 		h.Int(n.BIST.Cycles)
 		h.Int(n.BIST.Faults)
+		h.Int(n.BIST.Lanes)
 	}
 	return h.Sum()
 }
@@ -287,6 +298,7 @@ type BISTResponse struct {
 	Detected    int     `json:"detected"`
 	Coverage    float64 `json:"coverage"`
 	Cycles      int     `json:"cycles"`
+	Lanes       int     `json:"lanes"`
 	Status      string  `json:"status"`
 	Exhausted   string  `json:"exhausted,omitempty"`
 }
@@ -314,7 +326,7 @@ func BuildTestDesignResponse(n *NormTestDesign, res *hlts.Result, nl *hlts.Netli
 		out.BIST = &BISTResponse{
 			TPG: tpg, MISR: misr,
 			TotalFaults: bres.TotalFaults, Detected: bres.Detected,
-			Coverage: bres.Coverage, Cycles: bres.Cycles,
+			Coverage: bres.Coverage, Cycles: bres.Cycles, Lanes: bres.Lanes,
 			Status: bres.Status.String(), Exhausted: bres.Exhausted,
 		}
 	}

@@ -340,7 +340,8 @@ func (s *Server) runTestDesign(ctx context.Context, n *NormTestDesign) (int, []b
 		if err != nil {
 			return 0, nil, false, err
 		}
-		bres, err = hlts.RunBISTCtx(ctx, bn, n.BIST.Faults, n.BIST.Cycles)
+		bres, err = hlts.RunBISTCfgCtx(ctx, bn, n.BIST.Faults, n.BIST.Cycles,
+			hlts.BISTConfig{Lanes: n.BIST.Lanes})
 		if err != nil {
 			return 0, nil, false, err
 		}

@@ -464,6 +464,8 @@ func TestClientErrors(t *testing.T) {
 		{"bad vhdl", "POST", "/v1/synthesize", `{"vhdl":"entity garbage","width":4}`, 400},
 		{"bad scan", "POST", "/v1/testdesign", `{"bench":"ex","width":4,"scan":-1}`, 400},
 		{"empty bist", "POST", "/v1/testdesign", `{"bench":"ex","width":4,"bist":{"tpg":0,"misr":0}}`, 400},
+		{"bad bist lanes", "POST", "/v1/testdesign", `{"bench":"ex","width":4,"bist":{"tpg":1,"misr":1,"lanes":65}}`, 400},
+		{"negative bist lanes", "POST", "/v1/testdesign", `{"bench":"ex","width":4,"bist":{"tpg":1,"misr":1,"lanes":-1}}`, 400},
 		{"table unknown bench", "GET", "/v1/table/nope", "", 404},
 		{"table bad width", "GET", "/v1/table/ex?widths=0", "", 400},
 		{"table bad seed", "GET", "/v1/table/ex?seed=x", "", 400},

@@ -33,6 +33,34 @@ ok  	repro	1.234s
 	}
 }
 
+// -benchmem appends B/op and allocs/op pairs; they must parse like any
+// other metric, including exact zeros (the logic-sim zero-alloc contract
+// CI records).
+func TestParseBenchMemColumns(t *testing.T) {
+	input := `BenchmarkSimEval-4    	  300000	      3770 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBIST/lanes=64-4 	       1	  55566217 ns/op	        64.00 cov%	         1.562 passes/session	  149008 B/op	      92 allocs/op
+PASS
+`
+	results, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	eval := results[0]
+	if v, ok := eval.Metrics["allocs/op"]; !ok || v != 0 {
+		t.Errorf("allocs/op = %v (present %v), want 0", v, ok)
+	}
+	if v := eval.Metrics["B/op"]; v != 0 {
+		t.Errorf("B/op = %v, want 0", v)
+	}
+	bist := results[1]
+	if bist.Metrics["passes/session"] != 1.562 || bist.Metrics["allocs/op"] != 92 {
+		t.Errorf("bist metrics: %v", bist.Metrics)
+	}
+}
+
 func TestParseBenchBadValue(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("BenchmarkX-4 10 oops ns/op\n")); err == nil {
 		t.Fatal("malformed value not rejected")
