@@ -32,13 +32,24 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// advertiseURL derives the dispatch URL workers announce when -advertise
+// is not given: a bare ":8080" listen address advertises localhost.
+func advertiseURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
 
 func main() {
 	var (
@@ -52,6 +63,9 @@ func main() {
 		storeFl = flag.String("store", "", "persistent result-store directory: completed results are written through and reloaded at boot, so a restarted daemon serves repeat traffic from a hot cache (empty = in-memory only)")
 		valFlg  = flag.Bool("validate", false, "run the structural invariant checkers inside every job")
 		chaosFl = flag.String("chaos", "", "fault-injection spec, a recovery-path test hook: seed=N;site=action[:prob];... (see internal/chaos)")
+		coord   = flag.String("coordinator", "", "coordinator base URL (e.g. http://host:9090): register this worker with an hltsc coordinator and heartbeat utilization (empty = standalone)")
+		adv     = flag.String("advertise", "", "base URL the coordinator should dispatch to (default derived from -addr)")
+		beat    = flag.Duration("heartbeat", 2*time.Second, "heartbeat period when registered with a coordinator (the coordinator's registration answer may override it)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -87,13 +101,47 @@ func main() {
 		Validate:    *valFlg,
 		Store:       resStore,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The cluster.worker.kill chaos site wraps the whole handler: when a
+	// -chaos spec arms it, the daemon dies abruptly mid-request — the
+	// node-crash scenario the coordinator's failover path must absorb.
+	// Dormant it costs one atomic load per request.
+	handler := cluster.Killable(srv.Handler(), func() {
+		log.Printf("chaos: cluster.worker.kill fired; dying abruptly")
+		os.Exit(137)
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s (queue %d, jobs %d, workers %d)", *addr, *queue, *jobs, *workers)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+
+	var agent *cluster.Agent
+	if *coord != "" {
+		advertise := *adv
+		if advertise == "" {
+			advertise = advertiseURL(*addr)
+		}
+		agent = cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: *coord,
+			ID:          advertise,
+			Advertise:   advertise,
+			Capacity:    cluster.Capacity{Jobs: *jobs, Workers: *workers, QueueDepth: *queue},
+			Interval:    *beat,
+			Stats:       srv.Stats(),
+			Snapshot: func() cluster.Utilization {
+				snap := srv.Snapshot()
+				return cluster.Utilization{
+					Queued:       snap.Queued,
+					Inflight:     snap.Inflight,
+					CacheHitRate: snap.CacheHitRate,
+					JobsRun:      snap.JobsRun,
+				}
+			},
+		})
+		log.Printf("registered with coordinator %s as %s (heartbeat %v)", *coord, advertise, *beat)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -103,6 +151,11 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	case sig := <-sigCh:
 		log.Printf("%v: draining (timeout %v)", sig, *drainTO)
+	}
+	if agent != nil {
+		// Stop heartbeating first: the coordinator marks this node Suspect,
+		// then Dead, and routes around it while the drain finishes.
+		agent.Stop()
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)

@@ -137,6 +137,19 @@ const (
 	SiteServerAccept  = "server.accept"
 	SiteServerEnqueue = "server.enqueue"
 	SiteServerRespond = "server.respond"
+	// SiteClusterDispatch, SiteClusterHeartbeat and SiteClusterWorkerKill
+	// fire in the cluster layer (internal/cluster). Dispatch fires on the
+	// coordinator before each forward attempt — a fired rule counts as a
+	// transport failure, exercising the failover-to-next-ranked-node path.
+	// Heartbeat fires on the worker agent before each beat is sent — a
+	// fired rule drops the beat, driving the registry's Alive -> Suspect ->
+	// Dead transitions. WorkerKill fires on the worker before serving each
+	// proxied request — a fired rule kills the worker abruptly mid-job (in
+	// tests the listener is torn down; in hltsd the process exits), the
+	// signature of a node crash with work in flight.
+	SiteClusterDispatch   = "cluster.dispatch"
+	SiteClusterHeartbeat  = "cluster.heartbeat"
+	SiteClusterWorkerKill = "cluster.worker.kill"
 )
 
 // Sites lists every named injection site, sorted; the chaos sweep and the
@@ -150,6 +163,7 @@ func Sites() []string {
 		SitePetriReach,
 		SiteStoreWrite, SiteStoreSync, SiteStoreTorn, SiteStoreCorrupt,
 		SiteServerAccept, SiteServerEnqueue, SiteServerRespond,
+		SiteClusterDispatch, SiteClusterHeartbeat, SiteClusterWorkerKill,
 	}
 	sort.Strings(s)
 	return s

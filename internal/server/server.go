@@ -32,8 +32,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	hlts "repro"
@@ -63,8 +65,17 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity in entries (default 128;
 	// negative disables caching).
 	CacheSize int
-	// RetryAfter is the hint returned with 429 responses (default 1s).
+	// RetryAfter is the base backoff hint returned with 429/503 responses
+	// (default 1s). The emitted value is jittered into [RetryAfter,
+	// 1.5*RetryAfter] so a burst of rejected clients does not come back as
+	// a synchronized stampede.
 	RetryAfter time.Duration
+	// RetryJitterSeed seeds the Retry-After jitter; 0 derives one from the
+	// clock (tests pin it for determinism).
+	RetryJitterSeed int64
+	// MaxBodyBytes caps every request body via http.MaxBytesReader;
+	// over-limit bodies answer 413 (default 1 MiB).
+	MaxBodyBytes int64
 	// Validate runs the structural invariant checkers inside every job.
 	Validate bool
 	// Store, when non-nil, is the persistent content-addressed result
@@ -88,6 +99,9 @@ type Server struct {
 	q     *queue
 	inner int // per-job worker budget
 	mux   *http.ServeMux
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // New builds a server and starts its job workers.
@@ -107,16 +121,23 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.RetryJitterSeed == 0 {
+		cfg.RetryJitterSeed = time.Now().UnixNano()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	if cfg.Stats == nil {
 		cfg.Stats = stats.New()
 	}
 	outer, inner := parallel.Split(cfg.Workers, cfg.Jobs)
 	s := &Server{
-		cfg:   cfg,
-		st:    cfg.Stats,
-		q:     newQueue(cfg.QueueDepth, outer, cfg.CacheSize, cfg.Stats, cfg.Store),
-		inner: inner,
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		st:     cfg.Stats,
+		q:      newQueue(cfg.QueueDepth, outer, cfg.CacheSize, cfg.Stats, cfg.Store),
+		inner:  inner,
+		mux:    http.NewServeMux(),
+		jitter: rand.New(rand.NewSource(cfg.RetryJitterSeed)),
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.guarded("synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("POST /v1/testdesign", s.guarded("testdesign", s.handleTestDesign))
@@ -132,6 +153,41 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns the server's collector.
 func (s *Server) Stats() *stats.Stats { return s.st }
+
+// Snapshot is the utilization view a cluster worker carries in its
+// heartbeats (see internal/cluster): the live queue state plus the cache
+// effectiveness and work done since boot, all read from the existing
+// queue gauges and stats counters.
+type Snapshot struct {
+	// Queued and Inflight are the current queue depth and the number of
+	// distinct in-flight fingerprints.
+	Queued   int
+	Inflight int
+	// QueueDepth and Jobs echo the configured capacity.
+	QueueDepth int
+	Jobs       int
+	// CacheHitRate is hits/(hits+misses) over the LRU; 0 when never
+	// consulted.
+	CacheHitRate float64
+	// StoreHitRate is the persistent store's share, when one is attached.
+	StoreHitRate float64
+	// JobsRun counts pipeline executions since boot.
+	JobsRun int64
+}
+
+// Snapshot reads the server's live utilization.
+func (s *Server) Snapshot() Snapshot {
+	queued, inflight := s.q.depth()
+	return Snapshot{
+		Queued:       queued,
+		Inflight:     inflight,
+		QueueDepth:   s.cfg.QueueDepth,
+		Jobs:         s.cfg.Jobs,
+		CacheHitRate: s.st.HitRate("server.cache"),
+		StoreHitRate: s.st.HitRate("server.store"),
+		JobsRun:      s.st.Value("server.jobs.run"),
+	}
+}
 
 // Drain shuts the server down gracefully: new requests are rejected with
 // 503, queued jobs still run, and when ctx expires first the in-flight
@@ -161,12 +217,21 @@ func (s *Server) guarded(kind string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // decode parses a JSON request body strictly; unknown fields are client
-// errors (they are always typos — every knob has a default).
+// errors (they are always typos — every knob has a default). The body is
+// hard-capped with http.MaxBytesReader first, so a malicious or buggy
+// client cannot stream an unbounded body into the decoder; over-limit
+// bodies answer 413.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, kind string, start time.Time, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.writeError(w, kind, start, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, kind, start, status, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -215,10 +280,25 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, kind string, f
 	}
 }
 
-// setRetryAfter attaches the configured backoff hint, rounded up to
-// whole seconds; every 429 and 503 carries it.
+// setRetryAfter attaches the backoff hint, rounded up to whole seconds;
+// every 429 and 503 carries it. The hint is jittered into [RetryAfter,
+// 1.5*RetryAfter]: a fixed constant would tell every rejected client to
+// come back at the same instant, turning one overload spike into a
+// synchronized retry stampede.
 func (s *Server) setRetryAfter(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
+
+func (s *Server) retryAfterSeconds() int {
+	base := s.cfg.RetryAfter
+	s.jitterMu.Lock()
+	j := time.Duration(s.jitter.Int63n(int64(base/2) + 1))
+	s.jitterMu.Unlock()
+	secs := int((base + j + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // write sends a response, firing the respond chaos site and recording

@@ -29,6 +29,7 @@ type Stats struct {
 	counters map[string]int64
 	timers   map[string]time.Duration
 	hists    map[string]*histogram
+	gauges   map[string]float64
 }
 
 // New returns an empty collector.
@@ -37,6 +38,7 @@ func New() *Stats {
 		counters: map[string]int64{},
 		timers:   map[string]time.Duration{},
 		hists:    map[string]*histogram{},
+		gauges:   map[string]float64{},
 	}
 }
 
@@ -65,6 +67,27 @@ func (s *Stats) Time(name string) func() {
 		s.timers[name] += d
 		s.mu.Unlock()
 	}
+}
+
+// Set records the current value of a gauge — a level that can move both
+// ways (live node counts, queue depths), unlike the monotonic counters.
+func (s *Stats) Set(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// Gauge returns the current value of a gauge (0 if never set).
+func (s *Stats) Gauge(name string) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gauges[name]
 }
 
 // Value returns the current value of a counter (0 if never written).
@@ -279,6 +302,10 @@ func (s *Stats) WriteText(w io.Writer) error {
 	for k, v := range s.timers {
 		timers[k] = v
 	}
+	gauges := make(map[string]float64, len(s.gauges))
+	for k, v := range s.gauges {
+		gauges[k] = v
+	}
 	hists := make(map[string]histogram, len(s.hists))
 	for k, h := range s.hists {
 		hists[k] = *h
@@ -293,6 +320,10 @@ func (s *Stats) WriteText(w io.Writer) error {
 	for _, k := range sortedKeys(timers) {
 		m := metricName(k) + "_seconds"
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m, m, fmtFloat(timers[k].Seconds()))
+	}
+	for _, k := range sortedKeys(gauges) {
+		m := metricName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m, m, fmtFloat(gauges[k]))
 	}
 	for _, k := range sortedKeys(hists) {
 		h := hists[k]
