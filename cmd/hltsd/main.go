@@ -39,6 +39,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/store"
 )
 
@@ -66,6 +67,7 @@ func main() {
 		coord   = flag.String("coordinator", "", "coordinator base URL (e.g. http://host:9090): register this worker with an hltsc coordinator and heartbeat utilization (empty = standalone)")
 		adv     = flag.String("advertise", "", "base URL the coordinator should dispatch to (default derived from -addr)")
 		beat    = flag.Duration("heartbeat", 2*time.Second, "heartbeat period when registered with a coordinator (the coordinator's registration answer may override it)")
+		replInt = flag.Duration("replicate-interval", 2*time.Second, "anti-entropy period for peer-to-peer store replication; needs both -store and -coordinator (0 disables)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -92,6 +94,29 @@ func main() {
 		log.Printf("result store %s: %d records", *storeFl, resStore.Len())
 	}
 
+	advertise := *adv
+	if advertise == "" {
+		advertise = advertiseURL(*addr)
+	}
+
+	// Peer-to-peer store replication: a worker with BOTH a private store
+	// and a coordinator runs the anti-entropy loop (pulling records its
+	// peers hold) and offers its Fetch hook to the server as read-repair.
+	st := stats.New()
+	var repl *cluster.Replicator
+	var peerFetch server.PeerFetchFunc
+	if *coord != "" && resStore != nil && *replInt > 0 {
+		repl = cluster.StartReplicator(cluster.ReplicatorConfig{
+			Coordinator: *coord,
+			SelfID:      advertise,
+			Store:       resStore,
+			Interval:    *replInt,
+			Stats:       st,
+		})
+		peerFetch = repl.Fetch
+		log.Printf("replicating store %s with peers via %s every %v", *storeFl, *coord, *replInt)
+	}
+
 	srv := server.New(server.Config{
 		QueueDepth:  *queue,
 		Jobs:        *jobs,
@@ -100,6 +125,8 @@ func main() {
 		CacheSize:   *cacheSz,
 		Validate:    *valFlg,
 		Store:       resStore,
+		PeerFetch:   peerFetch,
+		Stats:       st,
 	})
 	// The cluster.worker.kill chaos site wraps the whole handler: when a
 	// -chaos spec arms it, the daemon dies abruptly mid-request — the
@@ -119,10 +146,6 @@ func main() {
 
 	var agent *cluster.Agent
 	if *coord != "" {
-		advertise := *adv
-		if advertise == "" {
-			advertise = advertiseURL(*addr)
-		}
 		agent = cluster.StartAgent(cluster.AgentConfig{
 			Coordinator: *coord,
 			ID:          advertise,
@@ -132,12 +155,24 @@ func main() {
 			Stats:       srv.Stats(),
 			Snapshot: func() cluster.Utilization {
 				snap := srv.Snapshot()
-				return cluster.Utilization{
+				u := cluster.Utilization{
 					Queued:       snap.Queued,
 					Inflight:     snap.Inflight,
 					CacheHitRate: snap.CacheHitRate,
 					JobsRun:      snap.JobsRun,
 				}
+				if snap.HasStore {
+					// The store gauge in each beat is what lets the
+					// coordinator compute replication lag across shards.
+					u.Store = &cluster.StoreUtil{
+						Records:   snap.StoreRecords,
+						LiveBytes: snap.StoreLiveBytes,
+						Gen:       snap.StoreCursor.Gen,
+						Seg:       snap.StoreCursor.Seg,
+						Off:       snap.StoreCursor.Off,
+					}
+				}
+				return u
 			},
 		})
 		log.Printf("registered with coordinator %s as %s (heartbeat %v)", *coord, advertise, *beat)
@@ -156,6 +191,10 @@ func main() {
 		// Stop heartbeating first: the coordinator marks this node Suspect,
 		// then Dead, and routes around it while the drain finishes.
 		agent.Stop()
+	}
+	if repl != nil {
+		// Stop pulling from peers before the drain closes the store.
+		repl.Stop()
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)

@@ -59,11 +59,15 @@ var (
 	petriSites  = []string{chaos.SitePetriReach}
 	storeSites  = []string{chaos.SiteStoreWrite, chaos.SiteStoreSync, chaos.SiteStoreTorn, chaos.SiteStoreCorrupt}
 	serverSites = []string{chaos.SiteServerAccept, chaos.SiteServerEnqueue, chaos.SiteServerRespond}
-	// The cluster sites are exercised by internal/cluster's own sweep
-	// (TestClusterSweepWorkerKill and friends), which needs the coordinator
-	// + worker harness living in that package; they are listed here so the
-	// union check still proves the whole taxonomy is covered.
-	clusterSites = []string{chaos.SiteClusterDispatch, chaos.SiteClusterHeartbeat, chaos.SiteClusterWorkerKill}
+	// The cluster sites are exercised by internal/cluster's own sweeps
+	// (TestClusterSweepWorkerKill, TestReplicationSweep and friends), which
+	// need the coordinator + worker harness living in that package; they
+	// are listed here so the union check still proves the whole taxonomy
+	// is covered.
+	clusterSites = []string{
+		chaos.SiteClusterDispatch, chaos.SiteClusterHeartbeat, chaos.SiteClusterWorkerKill,
+		chaos.SiteReplicateFetch, chaos.SiteReplicateApply,
+	}
 
 	sweepSeeds   = []int64{1, 2, 3, 5, 8, 13, 21, 34}
 	sweepWorkers = []int{1, 8}

@@ -60,6 +60,11 @@ type Config struct {
 	// MaxBodyBytes caps every POST body, job and membership traffic alike
 	// (default 1 MiB).
 	MaxBodyBytes int64
+	// HandoffMax bounds the hinted-handoff queue — pending (home shard,
+	// fingerprint) deliveries owed after failovers. Overflow is dropped
+	// and counted; anti-entropy between the workers closes the gap
+	// regardless (default 1024).
+	HandoffMax int
 	// Stats receives the coordinator's counters, gauges and latency
 	// histograms; a fresh collector is created when nil.
 	Stats *stats.Stats
@@ -105,6 +110,9 @@ func (c *Config) fill() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.HandoffMax <= 0 {
+		c.HandoffMax = 1024
+	}
 	if c.Stats == nil {
 		c.Stats = stats.New()
 	}
@@ -140,8 +148,13 @@ type Coordinator struct {
 	mu       sync.Mutex
 	draining bool
 
-	stopHealth chan struct{}
-	healthDone chan struct{}
+	handoffMu sync.Mutex
+	hints     map[hintKey]*hint
+
+	stopHealth  chan struct{}
+	healthDone  chan struct{}
+	stopHandoff chan struct{}
+	handoffDone chan struct{}
 }
 
 // New builds a coordinator and starts its health-tracking loop.
@@ -155,10 +168,13 @@ func New(cfg Config) *Coordinator {
 		client:     cfg.Client,
 		mux:        http.NewServeMux(),
 		rng:        rand.New(rand.NewSource(cfg.JitterSeed)),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		stopHealth: make(chan struct{}),
-		healthDone: make(chan struct{}),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		hints:       map[hintKey]*hint{},
+		stopHealth:  make(chan struct{}),
+		healthDone:  make(chan struct{}),
+		stopHandoff: make(chan struct{}),
+		handoffDone: make(chan struct{}),
 	}
 	c.mux.HandleFunc("POST /cluster/v1/register", c.guarded("register", c.handleRegister))
 	c.mux.HandleFunc("POST /cluster/v1/heartbeat", c.guarded("heartbeat", c.handleHeartbeat))
@@ -170,6 +186,7 @@ func New(cfg Config) *Coordinator {
 	c.mux.HandleFunc("GET /livez", c.handleLivez)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	go c.healthLoop()
+	go c.handoffLoop()
 	return c
 }
 
@@ -197,8 +214,34 @@ func (c *Coordinator) healthLoop() {
 			c.st.Set("cluster.nodes.alive", float64(alive))
 			c.st.Set("cluster.nodes.suspect", float64(suspect))
 			c.st.Set("cluster.nodes.dead", float64(dead))
+			c.st.Set("cluster.replicate.lag", float64(c.replicateLag()))
 		}
 	}
+}
+
+// replicateLag is the record-count spread — max minus min store records
+// — across the Alive nodes that report a store in their heartbeats: 0
+// when the fleet is converged (or fewer than two stores are visible),
+// positive while anti-entropy still owes records to somebody.
+func (c *Coordinator) replicateLag() int {
+	minR, maxR, n := 0, 0, 0
+	for _, node := range c.reg.Nodes() {
+		if node.State != StateAlive.String() || node.Util.Store == nil {
+			continue
+		}
+		r := node.Util.Store.Records
+		if n == 0 || r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	return maxR - minR
 }
 
 // Drain shuts the coordinator down: new requests are rejected with 503,
@@ -214,8 +257,10 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	c.mu.Unlock()
 	if first {
 		close(c.stopHealth)
+		close(c.stopHandoff)
 	}
 	<-c.healthDone
+	<-c.handoffDone
 
 	done := make(chan struct{})
 	go func() {
@@ -431,6 +476,13 @@ func (c *Coordinator) serve(w http.ResponseWriter, r *http.Request, kind string,
 		c.setRetryAfter(w)
 		c.writeStatus(w, kind, start, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
+	}
+	if up.status == http.StatusOK && up.home != "" && up.node != up.home {
+		// A failover answered a fingerprint it does not own: queue a hinted
+		// handoff so the home shard's store receives the record once it is
+		// Alive again. (A partial answer is filtered naturally later — it is
+		// never stored, so the handoff fetch misses and drops the hint.)
+		c.queueHint(up.home, up.node, fp)
 	}
 	for _, h := range []string{"Content-Type", "X-Hlts-Result", "Retry-After"} {
 		if v := up.header.Get(h); v != "" {

@@ -223,6 +223,19 @@ func (r *Registry) Ranked(fp core.Fingerprint) []NodeRef {
 	return out
 }
 
+// Get looks up one member's placement view and state; ok is false for a
+// node the registry has never seen. Used by the hinted-handoff loop to
+// wait for a home shard's return.
+func (r *Registry) Get(id string) (ref NodeRef, state State, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.members[id]
+	if m == nil {
+		return NodeRef{}, StateDead, false
+	}
+	return NodeRef{ID: m.id, Addr: m.addr}, m.state, true
+}
+
 // Nodes snapshots the membership table, sorted by ID.
 func (r *Registry) Nodes() []NodeInfo {
 	r.mu.Lock()
@@ -271,12 +284,25 @@ func (r *Registry) Close() {
 	}
 }
 
-// emitLocked fans an event out to the watchers; callers hold r.mu.
+// emitLocked fans an event out to the watchers; callers hold r.mu. The
+// channels are lossy by design, but drop-oldest rather than drop-newest:
+// under churn a subscriber may miss intermediate transitions, yet the
+// event for a node's FINAL state is always the last one buffered —
+// dropping the newest would leave a full, unread channel permanently
+// describing a stale state.
 func (r *Registry) emitLocked(e Event) {
 	for _, ch := range r.watchers {
 		select {
 		case ch <- e:
-		default: // lossy by design
+		default:
+			select {
+			case <-ch: // evict the oldest buffered event
+			default:
+			}
+			select {
+			case ch <- e:
+			default:
+			}
 		}
 	}
 }

@@ -1,0 +1,663 @@
+// Tests of peer-to-peer store replication (DESIGN.md §4j): anti-entropy
+// convergence between workers with private stores, the coordinator's
+// hinted handoff after a failover, read-repair through a worker's
+// serving path, the lossy-but-final registry watcher contract, and the
+// replication chaos sweep — kill a worker holding the only copy of a
+// warmed store and the surviving peer must serve that workload
+// byte-identically with zero pipeline runs.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// storeWorker is one hltsd-shaped test node: a private store, a server
+// exposing the /v1/ and /store/v1/ surfaces, an optional anti-entropy
+// replicator wired in as the server's read-repair hook, and a
+// heartbeating agent whose beats carry the store gauge.
+type storeWorker struct {
+	id    string
+	st    *stats.Stats
+	stor  *store.Store
+	repl  *Replicator
+	srv   *server.Server
+	ts    *httptest.Server
+	agent *Agent
+}
+
+// newStoreWorker boots one node against the coordinator at coordURL.
+// replInterval 0 runs without a replicator (no anti-entropy, no
+// read-repair) — replication is per-node opt-in.
+func newStoreWorker(t *testing.T, coordURL, id string, replInterval time.Duration, seed int64) *storeWorker {
+	t.Helper()
+	stor, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &storeWorker{id: id, st: stats.New(), stor: stor}
+	var fetch server.PeerFetchFunc
+	if replInterval > 0 {
+		w.repl = StartReplicator(ReplicatorConfig{
+			Coordinator:  coordURL,
+			SelfID:       id,
+			Store:        stor,
+			Interval:     replInterval,
+			RetryMax:     20 * replInterval,
+			FetchTimeout: 2 * time.Second,
+			Stats:        w.st,
+			JitterSeed:   seed,
+		})
+		fetch = w.repl.Fetch
+	}
+	w.srv = server.New(server.Config{
+		QueueDepth: 64, Jobs: 2, Workers: 4, CacheSize: 16,
+		Store: stor, PeerFetch: fetch, Stats: w.st,
+	})
+	w.ts = httptest.NewServer(w.srv.Handler())
+	w.agent = StartAgent(AgentConfig{
+		Coordinator: coordURL,
+		ID:          id,
+		Advertise:   w.ts.URL,
+		Capacity:    Capacity{Jobs: 2, Workers: 4, QueueDepth: 64},
+		Interval:    25 * time.Millisecond,
+		Stats:       w.st,
+		Snapshot:    storeSnapshot(w.srv),
+	})
+	return w
+}
+
+// storeSnapshot builds the heartbeat payload the way cmd/hltsd does,
+// including the store gauge replication lag is computed from.
+func storeSnapshot(srv *server.Server) func() Utilization {
+	return func() Utilization {
+		snap := srv.Snapshot()
+		u := Utilization{
+			Queued: snap.Queued, Inflight: snap.Inflight,
+			CacheHitRate: snap.CacheHitRate, JobsRun: snap.JobsRun,
+		}
+		if snap.HasStore {
+			u.Store = &StoreUtil{
+				Records: snap.StoreRecords, LiveBytes: snap.StoreLiveBytes,
+				Gen: snap.StoreCursor.Gen, Seg: snap.StoreCursor.Seg, Off: snap.StoreCursor.Off,
+			}
+		}
+		return u
+	}
+}
+
+// kill tears the node down abruptly from the cluster's point of view:
+// listener closed, in-flight connections severed, heartbeats and
+// replication stopped. The store directory simply ceases to exist for
+// everyone else — the permanent-node-loss scenario.
+func (w *storeWorker) kill(t *testing.T) {
+	t.Helper()
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+	w.agent.Stop()
+	if w.repl != nil {
+		w.repl.Stop()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.srv.Drain(ctx); err != nil {
+		t.Errorf("drain %s: %v", w.id, err)
+	}
+	if err := w.stor.Close(); err != nil {
+		t.Errorf("close store %s: %v", w.id, err)
+	}
+}
+
+func (w *storeWorker) shutdown(t *testing.T) { w.kill(t) }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+func clusterFP(parts ...string) core.Fingerprint {
+	h := core.NewHasher()
+	for _, p := range parts {
+		h.Str(p)
+	}
+	return h.Sum()
+}
+
+// digestsEqual compares two stores on content (Records, XorFP), which
+// is epoch- and layout-independent.
+func digestsEqual(a, b *store.Store) bool {
+	da, db := a.Digest(), b.Digest()
+	return da.Records == db.Records && da.XorFP == db.XorFP
+}
+
+// TestAntiEntropyConverges: records written only to worker A appear
+// byte-identically in worker B's private store via the pull loop, the
+// coordinator's replicate-lag gauge sees the gap open and close, and
+// /cluster/v1/nodes renders each node's store state.
+func TestAntiEntropyConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication integration test is too slow for -short")
+	}
+	base := runtime.NumGoroutine()
+	cfg := fastConfig()
+	c := New(cfg)
+	cts := httptest.NewServer(c.Handler())
+
+	a := newStoreWorker(t, cts.URL, "wA", 0, 1) // A: source only, no replicator
+	b := newStoreWorker(t, cts.URL, "wB", 0, 1) // B: replicator started below
+
+	// Warm A's store directly: replication moves store records, whatever
+	// wrote them.
+	want := map[core.Fingerprint][]byte{}
+	for i := 0; i < 5; i++ {
+		fp := clusterFP("rec", fmt.Sprint(i))
+		val := []byte(fmt.Sprintf("payload-%d", i))
+		if err := a.stor.Put(fp, val); err != nil {
+			t.Fatal(err)
+		}
+		want[fp] = val
+	}
+
+	// The heartbeat gauge sees the divergence: A reports 5 records, B
+	// reports 0, so the coordinator's lag gauge reads 5.
+	waitFor(t, 10*time.Second, "replicate lag gauge to open", func() bool {
+		return c.st.Gauge("cluster.replicate.lag") == 5
+	})
+
+	// The membership table renders the store state operators (and peers)
+	// read lag from.
+	status, _, body := doReq(t, cts.Client(), "GET", cts.URL+"/cluster/v1/nodes", "")
+	if status != http.StatusOK {
+		t.Fatalf("nodes: status %d", status)
+	}
+	var nodes struct {
+		Nodes []NodeInfo `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &nodes); err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	recsOf := map[string]int{}
+	for _, n := range nodes.Nodes {
+		if n.Util.Store != nil {
+			recsOf[n.ID] = n.Util.Store.Records
+		}
+	}
+	if recsOf["wA"] != 5 || recsOf["wB"] != 0 {
+		t.Fatalf("nodes missing store gauges: %+v", recsOf)
+	}
+
+	// Start B's anti-entropy loop: it must discover A, pull the delta, and
+	// converge byte-identically.
+	repl := StartReplicator(ReplicatorConfig{
+		Coordinator: cts.URL, SelfID: "wB", Store: b.stor,
+		Interval: 10 * time.Millisecond, RetryMax: 200 * time.Millisecond,
+		Stats: b.st, JitterSeed: 1,
+	})
+	waitFor(t, 10*time.Second, "stores to converge", func() bool {
+		return digestsEqual(a.stor, b.stor)
+	})
+	for fp, val := range want {
+		if got, ok := b.stor.Get(fp); !ok || string(got) != string(val) {
+			t.Fatalf("record %s on B: %q %v, want %q", fp, got, ok, val)
+		}
+	}
+	if b.st.Value("server.replicate.applied") != 5 {
+		t.Errorf("replicate.applied = %d, want 5", b.st.Value("server.replicate.applied"))
+	}
+	if b.st.Value("server.replicate.pulled") < 5 {
+		t.Errorf("replicate.pulled = %d, want >= 5", b.st.Value("server.replicate.pulled"))
+	}
+	// Converged: the lag gauge closes once B's next beats carry 5 records.
+	waitFor(t, 10*time.Second, "replicate lag gauge to close", func() bool {
+		return c.st.Gauge("cluster.replicate.lag") == 0
+	})
+
+	repl.Stop()
+	a.shutdown(t)
+	b.shutdown(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Errorf("coordinator drain: %v", err)
+	}
+	cts.Close()
+	settle(t, base)
+}
+
+// TestHintedHandoffDeliversToHome: a request whose home shard is down
+// is answered by a failover peer; the coordinator queues a hint and,
+// once the home node returns, copies the record from the answering
+// node into the home store. Misses and unknown homes drop cleanly.
+func TestHintedHandoffDeliversToHome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("handoff integration test is too slow for -short")
+	}
+	base := runtime.NumGoroutine()
+	cfg := fastConfig()
+	cfg.Rounds = 4
+	c := New(cfg)
+	cts := httptest.NewServer(c.Handler())
+
+	live := newStoreWorker(t, cts.URL, "live", 0, 1)
+
+	// The fingerprint the coordinator will compute for this body, derived
+	// exactly as its handler does.
+	reqBody := `{"bench":"ex","width":4}`
+	var sreq server.SynthesizeRequest
+	if err := json.Unmarshal([]byte(reqBody), &sreq); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := sreq.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := norm.Fingerprint()
+
+	// Pick a home ID that outranks the live worker for this fingerprint,
+	// so dispatch tries (and fails over from) the home first.
+	homeID := ""
+	for i := 0; i < 256; i++ {
+		cand := fmt.Sprintf("home-%d", i)
+		if Rank(fp, []string{cand, "live"})[0] == cand {
+			homeID = cand
+			break
+		}
+	}
+	if homeID == "" {
+		t.Fatal("no candidate ID outranks the live worker")
+	}
+	// The home shard is down: registered, but its address refuses
+	// connections.
+	c.reg.Register(homeID, "http://127.0.0.1:1", Capacity{Jobs: 1, Workers: 1, QueueDepth: 4})
+
+	waitFor(t, 10*time.Second, "live worker to register", func() bool {
+		_, state, ok := c.reg.Get("live")
+		return ok && state == StateAlive
+	})
+	status, hdr, body := doReq(t, cts.Client(), "POST", cts.URL+"/v1/synthesize", reqBody)
+	if status != http.StatusOK {
+		t.Fatalf("failover request: status %d: %s", status, body)
+	}
+	if hdr.Get("X-Hlts-Node") != "live" {
+		t.Fatalf("answered by %q, want the failover peer", hdr.Get("X-Hlts-Node"))
+	}
+	if got := c.st.Value("cluster.handoff.queued"); got != 1 {
+		t.Fatalf("handoff.queued = %d, want 1", got)
+	}
+
+	// The home shard comes back — as a real worker on a fresh (empty)
+	// store. Re-register on every poll so its beat stays fresh without a
+	// full agent.
+	home := newStoreWorker(t, cts.URL, "home-replacement-unused", 0, 1)
+	home.agent.Stop() // drive registration by hand under the home ID
+	// Poll the delivered counter, not the store: the home server stores
+	// the record before the coordinator's push returns and is counted.
+	waitFor(t, 10*time.Second, "hint delivery to the returned home", func() bool {
+		c.reg.Register(homeID, home.ts.URL, Capacity{Jobs: 2, Workers: 4, QueueDepth: 64})
+		return c.st.Value("cluster.handoff.delivered") == 1
+	})
+	wantVal, ok := live.stor.Get(fp)
+	if !ok {
+		t.Fatal("answering node lost the record it served")
+	}
+	if got, _ := home.stor.Get(fp); string(got) != string(wantVal) {
+		t.Fatalf("handed-off record differs from the source:\n got %q\nwant %q", got, wantVal)
+	}
+	waitFor(t, 5*time.Second, "pending gauge to drain", func() bool {
+		return c.st.Gauge("cluster.handoff.pending") == 0
+	})
+
+	// A hint for a record the answering node never stored (a partial
+	// result) is dropped as a miss, not retried forever.
+	c.queueHint(homeID, "live", clusterFP("never-stored"))
+	waitFor(t, 5*time.Second, "partial-result hint to drop as miss", func() bool {
+		c.reg.Register(homeID, home.ts.URL, Capacity{Jobs: 2, Workers: 4, QueueDepth: 64})
+		return c.st.Value("cluster.handoff.miss") == 1
+	})
+	// A hint whose home the registry has forgotten is dropped as lost.
+	c.queueHint("never-registered", "live", fp)
+	waitFor(t, 5*time.Second, "unknown-home hint to drop as lost", func() bool {
+		return c.st.Value("cluster.handoff.lost") == 1
+	})
+
+	live.shutdown(t)
+	home.shutdown(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Errorf("coordinator drain: %v", err)
+	}
+	cts.Close()
+	settle(t, base)
+}
+
+// TestReadRepairFromPeer: a worker with an empty store answers a
+// request another worker has already computed by fetching the record
+// from that peer — byte-identical, written through locally, zero
+// pipeline runs — and an injected peer-fetch fault degrades to the
+// recompute, never a failed request.
+func TestReadRepairFromPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("read-repair integration test is too slow for -short")
+	}
+	base := runtime.NumGoroutine()
+
+	// Worker A computes the reference answer into its store.
+	aStor, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSrv := server.New(server.Config{QueueDepth: 8, Jobs: 2, CacheSize: 8, Store: aStor})
+	aTS := httptest.NewServer(aSrv.Handler())
+	body := `{"bench":"ex","width":4}`
+	status, _, want := doReq(t, aTS.Client(), "POST", aTS.URL+"/v1/synthesize", body)
+	if status != http.StatusOK {
+		t.Fatalf("reference: status %d", status)
+	}
+
+	// Worker B: empty store, read-repair hook pointed (without a loop) at
+	// a peer set containing only A.
+	bStor, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bStats := stats.New()
+	repl := &Replicator{
+		cfg:    ReplicatorConfig{SelfID: "wB", Store: bStor, Stats: bStats},
+		client: &http.Client{Timeout: 2 * time.Second},
+		peers:  map[string]*peerSync{},
+		alive:  []NodeRef{{ID: "wA", Addr: aTS.URL}},
+	}
+	bSrv := server.New(server.Config{QueueDepth: 8, Jobs: 2, CacheSize: 8, Store: bStor, PeerFetch: repl.Fetch, Stats: bStats})
+	bTS := httptest.NewServer(bSrv.Handler())
+
+	status, _, got := doReq(t, bTS.Client(), "POST", bTS.URL+"/v1/synthesize", body)
+	if status != http.StatusOK {
+		t.Fatalf("read-repair request: status %d", status)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("read-repaired answer differs:\n got %.160s\nwant %.160s", got, want)
+	}
+	if runs := bStats.Value("server.jobs.run"); runs != 0 {
+		t.Errorf("jobs.run = %d, want 0 (the peer's bytes were available)", runs)
+	}
+	if bStats.Value("server.replicate.readrepair") != 1 {
+		t.Errorf("readrepair = %d, want 1", bStats.Value("server.replicate.readrepair"))
+	}
+	if bStor.Len() != 1 {
+		t.Errorf("read-repaired record not written through locally (%d records)", bStor.Len())
+	}
+
+	// Every peer fetch now faults: the request must still answer 200, by
+	// recomputing.
+	in := chaos.New(3).On(chaos.SiteReplicateFetch, chaos.Rule{Action: chaos.ActError, Prob: 1})
+	restore := chaos.Install(in)
+	body2 := `{"bench":"ex","width":8}`
+	status, _, _ = doReq(t, bTS.Client(), "POST", bTS.URL+"/v1/synthesize", body2)
+	restore()
+	if status != http.StatusOK {
+		t.Fatalf("request under peer-fetch fault: status %d, want 200 via recompute", status)
+	}
+	if runs := bStats.Value("server.jobs.run"); runs != 1 {
+		t.Errorf("jobs.run = %d, want 1 (fault degrades to recompute)", runs)
+	}
+	if in.Fired(chaos.SiteReplicateFetch) == 0 {
+		t.Error("peer-fetch fault never fired")
+	}
+	if bStats.Value("server.replicate.error") == 0 {
+		t.Error("peer-fetch fault not counted")
+	}
+
+	aTS.Close()
+	bTS.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := aSrv.Drain(ctx); err != nil {
+		t.Errorf("drain A: %v", err)
+	}
+	if err := bSrv.Drain(ctx); err != nil {
+		t.Errorf("drain B: %v", err)
+	}
+	aStor.Close()
+	bStor.Close()
+	settle(t, base)
+}
+
+// TestRegistryWatchChurn: an unread watcher under rapid membership
+// churn never wedges the registry, and when the churn stops the LAST
+// buffered events describe every node's final state — the drop-oldest
+// contract. (A drop-newest channel would end full of stale transitions.)
+func TestRegistryWatchChurn(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	reg := NewRegistry(50*time.Millisecond, 200*time.Millisecond, clock)
+	ch := reg.Watch() // never read during the churn
+
+	// Far more transitions than the channel buffers: every cycle flips 5
+	// nodes alive -> suspect -> alive. If emit blocked on the full
+	// channel, this loop would deadlock.
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	for cycle := 0; cycle < 40; cycle++ {
+		for _, id := range nodes {
+			reg.Register(id, "http://"+id, Capacity{})
+			reg.MarkSuspect(id)
+		}
+	}
+	// The final transitions: the clock jumps past DeadAfter and every
+	// node dies. These five events are the newest — drop-oldest must keep
+	// all of them.
+	advance(300 * time.Millisecond)
+	reg.Sweep()
+
+	var drained []Event
+	for {
+		select {
+		case e := <-ch:
+			drained = append(drained, e)
+		default:
+			goto done
+		}
+	}
+done:
+	if len(drained) == 0 {
+		t.Fatal("nothing buffered")
+	}
+	if len(drained) > 64 {
+		t.Fatalf("channel over-buffered: %d events", len(drained))
+	}
+	last := map[string]Event{}
+	for _, e := range drained {
+		last[e.ID] = e
+	}
+	for _, id := range nodes {
+		e, ok := last[id]
+		if !ok {
+			t.Errorf("node %s: final event dropped entirely", id)
+			continue
+		}
+		if e.To != StateDead {
+			t.Errorf("node %s: last buffered event says %v, final state is dead", id, e.To)
+		}
+	}
+	// Close delivers promptly even to a never-read subscriber.
+	reg.Close()
+	waitFor(t, 5*time.Second, "watcher channel to close", func() bool {
+		for {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					return true
+				}
+			default:
+				return false
+			}
+		}
+	})
+}
+
+// TestReplicationSweep is the acceptance sweep of the PR: per seed, two
+// workers with PRIVATE stores replicate under injected fetch/apply
+// faults; the warmed worker is then killed for good, and the survivor
+// must serve the dead node's entire workload byte-identically through
+// the coordinator with ZERO pipeline runs — no shared disk anywhere.
+func TestReplicationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication sweep is too slow for -short")
+	}
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runReplicationSweep(t, seed)
+		})
+	}
+}
+
+func runReplicationSweep(t *testing.T, seed int64) {
+	base := runtime.NumGoroutine()
+	// Fault mix varies by seed: fetches error, applies alternate between
+	// typed errors and panics (the guard must absorb both).
+	applyAct := chaos.ActError
+	if seed%2 == 0 {
+		applyAct = chaos.ActPanic
+	}
+	in := chaos.New(seed).
+		On(chaos.SiteReplicateFetch, chaos.Rule{Action: chaos.ActError, Prob: 0.25}).
+		On(chaos.SiteReplicateApply, chaos.Rule{Action: applyAct, Prob: 0.2})
+	restore := chaos.Install(in)
+	defer restore()
+
+	cfg := fastConfig()
+	cfg.Rounds = 6
+	cfg.RetryBase = 2 * time.Millisecond
+	cfg.RetryMax = 20 * time.Millisecond
+	cfg.MaxDeadline = 60 * time.Second
+	cfg.JitterSeed = seed
+	c := New(cfg)
+	cts := httptest.NewServer(c.Handler())
+
+	a := newStoreWorker(t, cts.URL, "wA", 10*time.Millisecond, seed)
+	b := newStoreWorker(t, cts.URL, "wB", 10*time.Millisecond, seed+1)
+
+	waitFor(t, 10*time.Second, "both workers to register", func() bool {
+		alive := 0
+		for _, n := range c.reg.Nodes() {
+			if n.State == "alive" {
+				alive++
+			}
+		}
+		return alive == 2
+	})
+
+	// Warm ONLY worker A, directly — its private store holds the only
+	// durable copy of these acknowledged results.
+	workload := []string{
+		`{"bench":"ex","width":4}`,
+		`{"bench":"ex","width":8}`,
+		`{"bench":"diffeq","width":8}`,
+	}
+	want := make([][]byte, len(workload))
+	for i, body := range workload {
+		status, _, got := doReq(t, cts.Client(), "POST", a.ts.URL+"/v1/synthesize", body)
+		if status != http.StatusOK {
+			t.Fatalf("warm request %d: status %d: %s", i, status, got)
+		}
+		want[i] = got
+	}
+
+	// Anti-entropy under fault injection: B must converge to A's store
+	// despite erroring fetches and panicking applies.
+	waitFor(t, 30*time.Second, "stores to converge under chaos", func() bool {
+		return digestsEqual(a.stor, b.stor)
+	})
+	aRecords := map[core.Fingerprint][]byte{}
+	a.stor.Range(func(fp core.Fingerprint, val []byte) bool {
+		aRecords[fp] = append([]byte(nil), val...)
+		return true
+	})
+	if len(aRecords) != len(workload) {
+		t.Fatalf("A holds %d records after warming, want %d", len(aRecords), len(workload))
+	}
+	for fp, val := range aRecords {
+		got, ok := b.stor.Get(fp)
+		if !ok || string(got) != string(val) {
+			t.Fatalf("record %s not byte-identical on B after convergence", fp)
+		}
+	}
+
+	// Permanent loss of the only originally-warmed node.
+	a.kill(t)
+	waitFor(t, 10*time.Second, "coordinator to see exactly one live node", func() bool {
+		alive := 0
+		for _, n := range c.reg.Nodes() {
+			if n.State == "alive" {
+				alive++
+			}
+		}
+		return alive == 1
+	})
+
+	// The dead node's workload through the coordinator: every request must
+	// answer 200 byte-identical to the original acknowledgment, and B must
+	// never run the pipeline — the replicated bytes are the answer.
+	for i, body := range workload {
+		status, _, got := doReq(t, cts.Client(), "POST", cts.URL+"/v1/synthesize", body)
+		if status != http.StatusOK {
+			t.Fatalf("post-kill request %d: status %d: %s (an acknowledged record was lost)", i, status, got)
+		}
+		if string(got) != string(want[i]) {
+			t.Fatalf("post-kill request %d differs from the acknowledged bytes:\n got %.160s\nwant %.160s", i, got, want[i])
+		}
+	}
+	if runs := b.st.Value("server.jobs.run"); runs != 0 {
+		t.Errorf("survivor recomputed %d jobs despite holding the replicas", runs)
+	}
+	if in.Fired(chaos.SiteReplicateFetch)+in.Fired(chaos.SiteReplicateApply) == 0 {
+		t.Errorf("replication chaos never fired (fetch hits=%d apply hits=%d) — the sweep tested nothing",
+			in.Hits(chaos.SiteReplicateFetch), in.Hits(chaos.SiteReplicateApply))
+	}
+	t.Logf("seed=%d: converged %d records; fetch fired=%d apply fired=%d; survivor errors=%d",
+		seed, len(aRecords), in.Fired(chaos.SiteReplicateFetch), in.Fired(chaos.SiteReplicateApply),
+		b.st.Value("server.replicate.error"))
+
+	b.shutdown(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Errorf("coordinator drain: %v", err)
+	}
+	cts.Close()
+	settle(t, base)
+}

@@ -55,6 +55,21 @@ type Utilization struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// JobsRun counts pipeline executions since the node booted.
 	JobsRun int64 `json:"jobs_run"`
+	// Store summarizes the node's persistent store when it runs with a
+	// private -store: record count, live bytes and the end-of-log cursor.
+	// Peers and operators read it off /cluster/v1/nodes to judge
+	// replication lag; nil when the node has no store.
+	Store *StoreUtil `json:"store,omitempty"`
+}
+
+// StoreUtil is the replication-relevant store state a heartbeat carries.
+type StoreUtil struct {
+	Records   int   `json:"records"`
+	LiveBytes int64 `json:"live_bytes"`
+	// Gen/Seg/Off are the store's end-of-log cursor (see store.Cursor).
+	Gen uint64 `json:"gen"`
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
 }
 
 // RegisterRequest is the body of POST /cluster/v1/register.

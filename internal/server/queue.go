@@ -70,8 +70,9 @@ type job struct {
 
 // queue is the bounded, coalescing job queue.
 type queue struct {
-	st *stats.Stats
-	ch chan *job
+	st    *stats.Stats
+	ch    chan *job
+	fetch PeerFetchFunc // optional read-repair hook, tried before computing
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -87,11 +88,12 @@ type queue struct {
 
 // newQueue builds the queue, warms the LRU from the persistent store
 // (when one is given), and starts `workers` job-runner goroutines.
-func newQueue(depth, workers, cacheSize int, st *stats.Stats, stor *store.Store) *queue {
+func newQueue(depth, workers, cacheSize int, st *stats.Stats, stor *store.Store, fetch PeerFetchFunc) *queue {
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &queue{
 		st:         st,
 		ch:         make(chan *job, depth),
+		fetch:      fetch,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		inflight:   map[core.Fingerprint]*job{},
@@ -262,7 +264,6 @@ func (q *queue) depth() (queued, inflight int) {
 func (q *queue) worker() {
 	defer q.wg.Done()
 	for j := range q.ch {
-		q.st.Add("server.jobs.run", 1)
 		start := time.Now()
 		status, body, cacheable := q.runJob(j)
 		q.st.ObserveSince("server.job."+j.kind+".latency", start)
@@ -285,8 +286,40 @@ func (q *queue) worker() {
 	}
 }
 
-// runJob executes one job under panic isolation.
+// peerRepair is the read-repair path: a request that missed both the LRU
+// and the durable store may still be answered by a replication peer that
+// holds the record. It runs on the job worker — never under the admission
+// mutex, so a slow or failing peer cannot block admission — and the
+// fetched bytes come back cacheable, so the worker loop writes them
+// through to the local store before publishing (the repair half of
+// read-repair). Any fault — transport, injected chaos, even a panicking
+// hook — degrades to the ordinary recompute.
+func (q *queue) peerRepair(j *job) (r result, ok bool) {
+	defer q.recoverStore()
+	v, hit := q.fetch(j.ctx, j.fp)
+	if !hit {
+		return result{}, false
+	}
+	r, ok = decodeResult(v)
+	if !ok {
+		q.st.Add("server.replicate.error", 1)
+		return result{}, false
+	}
+	q.st.Add("server.replicate.readrepair", 1)
+	return r, true
+}
+
+// runJob executes one job under panic isolation, trying peer read-repair
+// before computing.
 func (q *queue) runJob(j *job) (status int, body []byte, cacheable bool) {
+	if q.fetch != nil {
+		if r, ok := q.peerRepair(j); ok {
+			return r.status, r.body, true
+		}
+	}
+	// jobs.run counts pipeline executions: a read-repaired job was served
+	// from a peer's bytes, not recomputed, so it does not count.
+	q.st.Add("server.jobs.run", 1)
 	type out struct {
 		status    int
 		body      []byte

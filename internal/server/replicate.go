@@ -1,0 +1,290 @@
+// replicate.go is the worker-side wire surface of peer-to-peer store
+// replication (DESIGN.md §4j): four small endpoints under /store/v1/
+// that expose the persistent store's digest, its append-order delta
+// stream, and single-record fetch/push — everything a peer's
+// anti-entropy loop, a read-repair, or the coordinator's hinted handoff
+// needs. Every payload is capped and CRC-verified end to end: a record
+// travels with a CRC-32C over (fingerprint‖value) computed by the
+// sender and re-checked by the receiver before the bytes are trusted,
+// on top of the store's own per-record checksum at both ends.
+//
+// The endpoints answer 404 with a typed body when the daemon runs
+// without a store — replication is an opt-in property of -store mode,
+// not a failure.
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// PeerFetchFunc is the read-repair hook: given a fingerprint missing
+// from both the LRU and the durable store, it may return the encoded
+// result held by a replication peer. It runs on a job worker with the
+// job's context; failures (or a false return) degrade to the ordinary
+// recompute.
+type PeerFetchFunc func(ctx context.Context, fp core.Fingerprint) ([]byte, bool)
+
+// Pull batch caps: a /store/v1/pull response carries at most
+// pullMaxRecords records and pullMaxBytes of value bytes (whichever is
+// hit first), so one exchange is always bounded whatever the store
+// holds.
+const (
+	pullMaxRecords     = 1024
+	pullDefaultRecords = 256
+	pullMaxBytes       = 4 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RecordCRC is the transport checksum of one replicated record:
+// CRC-32C over the fingerprint bytes then the value bytes, so a record
+// whose key and value were swapped between peers is rejected, not
+// stored under the wrong name.
+func RecordCRC(fp core.Fingerprint, val []byte) uint32 {
+	c := crc32.Update(0, crcTable, fp[:])
+	return crc32.Update(c, crcTable, val)
+}
+
+// WireCursor is a store.Cursor on the wire.
+type WireCursor struct {
+	Gen uint64 `json:"gen"`
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Cursor converts to the store's type.
+func (c WireCursor) Cursor() store.Cursor { return store.Cursor{Gen: c.Gen, Seg: c.Seg, Off: c.Off} }
+
+func toWireCursor(c store.Cursor) WireCursor { return WireCursor{Gen: c.Gen, Seg: c.Seg, Off: c.Off} }
+
+// DigestResponse is the GET /store/v1/digest body.
+type DigestResponse struct {
+	Gen     uint64     `json:"gen"`
+	Records int        `json:"records"`
+	XorFP   string     `json:"xor_fp"` // hex
+	End     WireCursor `json:"end"`
+}
+
+// WireRecord is one replicated record: hex fingerprint, base64 value
+// (encoding/json's []byte convention) and the transport CRC.
+type WireRecord struct {
+	FP  string `json:"fp"`
+	Val []byte `json:"val"`
+	CRC uint32 `json:"crc"`
+}
+
+// PullResponse is the GET /store/v1/pull body: one bounded batch of the
+// delta stream plus the cursor to resume from.
+type PullResponse struct {
+	Records []WireRecord `json:"records"`
+	Next    WireCursor   `json:"next"`
+	More    bool         `json:"more"`
+}
+
+// EncodeWireRecord frames a record for transport.
+func EncodeWireRecord(fp core.Fingerprint, val []byte) WireRecord {
+	return WireRecord{FP: fp.String(), Val: val, CRC: RecordCRC(fp, val)}
+}
+
+// DecodeWireRecord validates a received record: fingerprint shape and
+// transport CRC. The returned value aliases the wire buffer.
+func DecodeWireRecord(r WireRecord) (core.Fingerprint, []byte, error) {
+	var fp core.Fingerprint
+	raw, err := hex.DecodeString(r.FP)
+	if err != nil || len(raw) != len(fp) {
+		return fp, nil, fmt.Errorf("replicate: bad fingerprint %q", r.FP)
+	}
+	copy(fp[:], raw)
+	if RecordCRC(fp, r.Val) != r.CRC {
+		return fp, nil, fmt.Errorf("replicate: record %s failed transport CRC", r.FP)
+	}
+	return fp, r.Val, nil
+}
+
+// ErrRecordConflict reports a push whose fingerprint is already present
+// locally with different bytes — which deterministic synthesis makes
+// impossible unless something upstream is corrupt, so the local
+// (first-written) record is kept and the pusher told.
+var ErrRecordConflict = errors.New("replicate: record conflicts with local bytes")
+
+// ApplyRecord installs one replicated record into the store under the
+// first-writer-wins rule: an absent fingerprint is stored (fsynced
+// before the reply acknowledges it), identical bytes are an idempotent
+// no-op, and differing bytes are rejected with ErrRecordConflict and
+// counted — the byte-equality assertion of DESIGN.md §4j.
+func (s *Server) ApplyRecord(fp core.Fingerprint, val []byte) error {
+	if cur, ok := s.cfg.Store.Get(fp); ok {
+		if string(cur) == string(val) {
+			return nil
+		}
+		s.st.Add("server.replicate.conflict", 1)
+		return ErrRecordConflict
+	}
+	if err := s.cfg.Store.Put(fp, val); err != nil {
+		s.st.Add("server.store.error", 1)
+		return err
+	}
+	s.st.Add("server.replicate.applied", 1)
+	return nil
+}
+
+// writeJSON is the small-response helper of the /store/v1/ handlers.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshal(v)
+	if err != nil {
+		body, _ = marshal(errorBody{Error: err.Error()})
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// storeRequired answers the no-store case once for all four handlers.
+func (s *Server) storeRequired(w http.ResponseWriter) bool {
+	if s.cfg.Store != nil {
+		return false
+	}
+	s.writeJSON(w, http.StatusNotFound, errorBody{Error: "no persistent store attached"})
+	return true
+}
+
+func (s *Server) handleStoreDigest(w http.ResponseWriter, r *http.Request) {
+	if s.storeRequired(w) {
+		return
+	}
+	d := s.cfg.Store.Digest()
+	s.writeJSON(w, http.StatusOK, DigestResponse{
+		Gen:     d.Gen,
+		Records: d.Records,
+		XorFP:   hex.EncodeToString(d.XorFP[:]),
+		End:     toWireCursor(d.End),
+	})
+}
+
+func (s *Server) handleStorePull(w http.ResponseWriter, r *http.Request) {
+	if s.storeRequired(w) {
+		return
+	}
+	qv := r.URL.Query()
+	var c store.Cursor
+	var err error
+	if c.Gen, err = parseUint(qv.Get("gen")); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad gen: " + err.Error()})
+		return
+	}
+	if c.Seg, err = parseUint(qv.Get("seg")); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad seg: " + err.Error()})
+		return
+	}
+	off, err := parseUint(qv.Get("off"))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad off: " + err.Error()})
+		return
+	}
+	c.Off = int64(off)
+	max := pullDefaultRecords
+	if m := qv.Get("max"); m != "" {
+		mv, err := strconv.Atoi(m)
+		if err != nil || mv < 1 {
+			s.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad max %q", m)})
+			return
+		}
+		if max = mv; max > pullMaxRecords {
+			max = pullMaxRecords
+		}
+	}
+	recs, next, more := s.cfg.Store.Since(c, max, pullMaxBytes)
+	resp := PullResponse{Records: make([]WireRecord, 0, len(recs)), Next: toWireCursor(next), More: more}
+	for _, rec := range recs {
+		resp.Records = append(resp.Records, EncodeWireRecord(rec.FP, rec.Val))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStoreRecord serves one record by fingerprint — the fetch half of
+// read-repair and hinted handoff. A miss is a plain 404: partial results
+// are never stored, so "not here" is an expected answer, not an error.
+func (s *Server) handleStoreRecord(w http.ResponseWriter, r *http.Request) {
+	if s.storeRequired(w) {
+		return
+	}
+	fpHex := r.URL.Query().Get("fp")
+	raw, err := hex.DecodeString(fpHex)
+	var fp core.Fingerprint
+	if err != nil || len(raw) != len(fp) {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad fingerprint %q", fpHex)})
+		return
+	}
+	copy(fp[:], raw)
+	val, ok := s.cfg.Store.Get(fp)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "record not found"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, EncodeWireRecord(fp, val))
+}
+
+// handleStorePush accepts one record — the delivery half of hinted
+// handoff. The body is decoded strictly under a cap generous enough for
+// a base64-inflated result, CRC-verified, and applied under
+// first-writer-wins; 409 reports a byte-inequality conflict.
+func (s *Server) handleStorePush(w http.ResponseWriter, r *http.Request) {
+	if s.storeRequired(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.pushBodyCap())
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var rec WireRecord
+	if err := dec.Decode(&rec); err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeJSON(w, status, errorBody{Error: "bad push body: " + err.Error()})
+		return
+	}
+	fp, val, err := DecodeWireRecord(rec)
+	if err != nil {
+		s.st.Add("server.replicate.crc", 1)
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	switch err := s.ApplyRecord(fp, val); {
+	case errors.Is(err, ErrRecordConflict):
+		s.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case err != nil:
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+	}
+}
+
+// pushBodyCap bounds a push body: the configured request cap inflated
+// for base64 framing, with the same floor pull batches get.
+func (s *Server) pushBodyCap() int64 {
+	cap := s.cfg.MaxBodyBytes * 2
+	if cap < pullMaxBytes {
+		cap = pullMaxBytes
+	}
+	return cap
+}
+
+func parseUint(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}

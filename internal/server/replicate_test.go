@@ -1,0 +1,355 @@
+// Tests of the worker-side replication surface: the /store/v1/ wire
+// endpoints (digest, pull, record, push), the first-writer-wins apply
+// rule, the read-repair path through the job queue, and the
+// degradation contracts — a daemon without a store answers typed 404s,
+// a disk-full store under a live daemon costs counters and recomputes
+// but never a failed request, and the corruption counters surface in
+// /metrics.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func getJSON(t *testing.T, client *http.Client, url string, v any) int {
+	t.Helper()
+	status, body := get(t, client, url)
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+	}
+	return status
+}
+
+// TestStoreWireEndpoints drives the four /store/v1/ endpoints end to
+// end over HTTP: digest reflects the live set, pull streams every
+// record CRC-intact across batches, record serves single fingerprints,
+// and push applies under first-writer-wins with 409 on byte-inequality.
+func TestStoreWireEndpoints(t *testing.T) {
+	base := runtime.NumGoroutine()
+	st := stats.New()
+	s, ts, down := bootServer(t, t.TempDir(), Config{QueueDepth: 8, Jobs: 1, CacheSize: 8, Stats: st})
+	defer settle(t, base)
+	defer down()
+
+	want := map[core.Fingerprint][]byte{}
+	for i := 0; i < 5; i++ {
+		fp := fpOf("wire", fmt.Sprint(i))
+		val := []byte(fmt.Sprintf("record-body-%d", i))
+		if err := s.ApplyRecord(fp, val); err != nil {
+			t.Fatal(err)
+		}
+		want[fp] = val
+	}
+
+	var dig DigestResponse
+	if status := getJSON(t, ts.Client(), ts.URL+"/store/v1/digest", &dig); status != http.StatusOK {
+		t.Fatalf("digest: status %d", status)
+	}
+	if dig.Records != len(want) || dig.Gen == 0 {
+		t.Fatalf("digest = %+v, want %d records and a nonzero gen", dig, len(want))
+	}
+
+	// Walk the pull stream in batches of 2, decoding (and thereby
+	// CRC-checking) every record.
+	got := map[core.Fingerprint][]byte{}
+	cur := WireCursor{Gen: dig.Gen}
+	for rounds := 0; ; rounds++ {
+		var pr PullResponse
+		u := fmt.Sprintf("%s/store/v1/pull?gen=%d&seg=%d&off=%d&max=2", ts.URL, cur.Gen, cur.Seg, cur.Off)
+		if status := getJSON(t, ts.Client(), u, &pr); status != http.StatusOK {
+			t.Fatalf("pull: status %d", status)
+		}
+		for _, wr := range pr.Records {
+			fp, val, err := DecodeWireRecord(wr)
+			if err != nil {
+				t.Fatalf("pulled record failed CRC: %v", err)
+			}
+			got[fp] = append([]byte(nil), val...)
+		}
+		cur = pr.Next
+		if !pr.More {
+			break
+		}
+		if rounds > 100 {
+			t.Fatal("pull never drained")
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pulled %d records, want %d", len(got), len(want))
+	}
+	for fp, val := range want {
+		if !bytes.Equal(got[fp], val) {
+			t.Fatalf("pulled %s = %q, want %q", fp, got[fp], val)
+		}
+	}
+
+	// Single-record fetch: hit, miss, malformed.
+	one := fpOf("wire", "0")
+	var wr WireRecord
+	if status := getJSON(t, ts.Client(), ts.URL+"/store/v1/record?fp="+one.String(), &wr); status != http.StatusOK {
+		t.Fatalf("record: status %d", status)
+	}
+	if fp, val, err := DecodeWireRecord(wr); err != nil || fp != one || !bytes.Equal(val, want[one]) {
+		t.Fatalf("record fetch mismatch: %v %s %q", err, fp, val)
+	}
+	if status, _ := get(t, ts.Client(), ts.URL+"/store/v1/record?fp="+fpOf("absent").String()); status != http.StatusNotFound {
+		t.Fatalf("absent record: status %d, want 404", status)
+	}
+	if status, _ := get(t, ts.Client(), ts.URL+"/store/v1/record?fp=zz"); status != http.StatusBadRequest {
+		t.Fatalf("malformed fingerprint: status %d, want 400", status)
+	}
+
+	// Push: a new record lands durably; re-pushing identical bytes is an
+	// idempotent 200; differing bytes are refused with 409 and the local
+	// record is kept (first-writer-wins); a broken CRC is a 400.
+	pushed := fpOf("wire", "pushed")
+	push := func(rec WireRecord) int {
+		t.Helper()
+		b, _ := json.Marshal(rec)
+		status, _, _ := post(t, ts.Client(), ts.URL+"/store/v1/push", string(b))
+		return status
+	}
+	if status := push(EncodeWireRecord(pushed, []byte("delivered"))); status != http.StatusOK {
+		t.Fatalf("push new: status %d", status)
+	}
+	if v, ok := s.cfg.Store.Get(pushed); !ok || string(v) != "delivered" {
+		t.Fatalf("pushed record not stored: %q %v", v, ok)
+	}
+	if status := push(EncodeWireRecord(pushed, []byte("delivered"))); status != http.StatusOK {
+		t.Fatalf("push identical: status %d", status)
+	}
+	if status := push(EncodeWireRecord(pushed, []byte("DIFFERENT"))); status != http.StatusConflict {
+		t.Fatalf("push conflicting: status %d, want 409", status)
+	}
+	if v, _ := s.cfg.Store.Get(pushed); string(v) != "delivered" {
+		t.Fatalf("conflict overwrote the first write: %q", v)
+	}
+	if st.Value("server.replicate.conflict") != 1 {
+		t.Errorf("replicate.conflict = %d, want 1", st.Value("server.replicate.conflict"))
+	}
+	bad := EncodeWireRecord(fpOf("wire", "bad"), []byte("x"))
+	bad.CRC ^= 1
+	if status := push(bad); status != http.StatusBadRequest {
+		t.Fatalf("push with broken CRC: status %d, want 400", status)
+	}
+	if st.Value("server.replicate.crc") != 1 {
+		t.Errorf("replicate.crc = %d, want 1", st.Value("server.replicate.crc"))
+	}
+}
+
+// TestStoreEndpointsWithoutStore: a daemon running in-memory-only
+// answers every /store/v1/ call with a typed 404 — replication is an
+// opt-in property of -store mode, not an error state.
+func TestStoreEndpointsWithoutStore(t *testing.T) {
+	s := New(Config{QueueDepth: 4, Jobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	for _, u := range []string{"/store/v1/digest", "/store/v1/pull", "/store/v1/record?fp=" + fpOf("x").String()} {
+		status, body := get(t, ts.Client(), ts.URL+u)
+		var eb errorBody
+		if status != http.StatusNotFound || json.Unmarshal(body, &eb) != nil || eb.Error == "" {
+			t.Errorf("GET %s without store: status %d body %s, want typed 404", u, status, body)
+		}
+	}
+	b, _ := json.Marshal(EncodeWireRecord(fpOf("x"), []byte("v")))
+	if status, _, body := post(t, ts.Client(), ts.URL+"/store/v1/push", string(b)); status != http.StatusNotFound {
+		t.Errorf("push without store: status %d body %s, want 404", status, body)
+	}
+}
+
+// TestWireRecordCRCCatchesSwap: the transport CRC covers the
+// fingerprint as well as the value, so a record reframed under the
+// wrong key fails decode instead of being stored under the wrong name.
+func TestWireRecordCRCCatchesSwap(t *testing.T) {
+	rec := EncodeWireRecord(fpOf("right"), []byte("payload"))
+	rec.FP = fpOf("wrong").String()
+	if _, _, err := DecodeWireRecord(rec); err == nil {
+		t.Fatal("key-swapped record passed the transport CRC")
+	}
+	rec = EncodeWireRecord(fpOf("right"), []byte("payload"))
+	rec.Val = []byte("tampered")
+	if _, _, err := DecodeWireRecord(rec); err == nil {
+		t.Fatal("tampered value passed the transport CRC")
+	}
+}
+
+// TestReadRepairServesPeerBytes: a request missing the LRU and the
+// durable store but answerable by a peer is served from the peer's
+// bytes — byte-identical, written through locally, zero pipeline runs.
+func TestReadRepairServesPeerBytes(t *testing.T) {
+	base := runtime.NumGoroutine()
+	st := stats.New()
+	stor, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stor.Close()
+	peerBytes := encodeResult(result{status: http.StatusOK, body: []byte(`{"from":"peer"}`)})
+	fetch := func(ctx context.Context, fp core.Fingerprint) ([]byte, bool) {
+		if fp == fpOf("held-by-peer") {
+			return peerBytes, true
+		}
+		return nil, false
+	}
+	q := newQueue(4, 1, 4, st, stor, fetch)
+	j, cached, err := q.submit(fpOf("held-by-peer"), "synthesize", time.Minute, func(ctx context.Context) (int, []byte, bool) {
+		t.Error("pipeline ran despite a peer holding the record")
+		return http.StatusOK, []byte("recomputed"), true
+	})
+	if err != nil || cached != nil {
+		t.Fatalf("submit: cached=%v err=%v", cached, err)
+	}
+	<-j.done
+	if j.res.status != http.StatusOK || string(j.res.body) != `{"from":"peer"}` {
+		t.Fatalf("read-repair answer: %d %s", j.res.status, j.res.body)
+	}
+	if st.Value("server.jobs.run") != 0 {
+		t.Errorf("jobs.run = %d, want 0 (read-repair is not a pipeline run)", st.Value("server.jobs.run"))
+	}
+	if st.Value("server.replicate.readrepair") != 1 {
+		t.Errorf("readrepair counter = %d, want 1", st.Value("server.replicate.readrepair"))
+	}
+	// The repair half: the peer's bytes are now durable locally.
+	if v, ok := stor.Get(fpOf("held-by-peer")); !ok || !bytes.Equal(v, peerBytes) {
+		t.Errorf("read-repaired record not written through: %v", ok)
+	}
+	// A fetch hook returning garbage degrades to the recompute.
+	ran := false
+	q.fetch = func(ctx context.Context, fp core.Fingerprint) ([]byte, bool) { return []byte{1}, true }
+	j, _, err = q.submit(fpOf("garbage-peer"), "synthesize", time.Minute, func(ctx context.Context) (int, []byte, bool) {
+		ran = true
+		return http.StatusOK, []byte("computed"), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+	if !ran || string(j.res.body) != "computed" {
+		t.Fatalf("garbage peer bytes did not degrade to recompute: %s", j.res.body)
+	}
+	if st.Value("server.replicate.error") == 0 {
+		t.Error("undecodable peer bytes not counted")
+	}
+	if err := q.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, base)
+}
+
+// TestStoreWriteFaultUnderLiveDaemon is the disk-full drill: every
+// store append fails (the chaos store.write site erroring with
+// probability 1 is an ENOSPC stand-in) under a LIVE daemon serving real
+// requests. The contract: every request still answers 200, no 5xx ever
+// escapes, and the faults surface as server.store.error counters.
+func TestStoreWriteFaultUnderLiveDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-daemon fault drill synthesizes real designs; too slow for -short")
+	}
+	base := runtime.NumGoroutine()
+	in := chaos.New(7).On(chaos.SiteStoreWrite, chaos.Rule{Action: chaos.ActError, Prob: 1})
+	restore := chaos.Install(in)
+	defer restore()
+
+	st := stats.New()
+	_, ts, down := bootServer(t, t.TempDir(), Config{QueueDepth: 8, Jobs: 2, CacheSize: 0, Stats: st})
+	defer settle(t, base)
+	defer down()
+
+	// CacheSize 0 forces every repeat onto the store path, which is down.
+	for pass := 0; pass < 2; pass++ {
+		for _, body := range []string{`{"bench":"ex","width":4}`, `{"bench":"ex","width":8}`} {
+			status, _, got := post(t, ts.Client(), ts.URL+"/v1/synthesize", body)
+			if status != http.StatusOK {
+				t.Fatalf("pass %d %s: status %d (a full disk must never fail a request): %s", pass, body, status, got)
+			}
+		}
+	}
+	if in.Fired(chaos.SiteStoreWrite) == 0 {
+		t.Fatal("store.write site never fired — the drill tested nothing")
+	}
+	if st.Value("server.store.error") == 0 {
+		t.Error("store write faults not counted in server.store.error")
+	}
+	if st.Value("server.jobs.panicked") != 0 {
+		t.Errorf("store faults leaked into job panics: %d", st.Value("server.jobs.panicked"))
+	}
+}
+
+// TestMetricsSurfaceCorruptionCounters: a store directory carrying both
+// a bit-rotted record and a torn tail boots into a daemon whose
+// /metrics exposition reports store.corrupt.dropped and
+// store.torn.resealed — the satellite observability contract.
+func TestMetricsSurfaceCorruptionCounters(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	stor, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := []byte("metrics-rot-metrics-rot")
+	if err := stor.Put(fpOf("m", "keep"), []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := stor.Put(fpOf("m", "rot"), marker); err != nil {
+		t.Fatal(err)
+	}
+	stor.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, marker)
+	if i < 0 {
+		t.Fatal("marker not found")
+	}
+	data[i] ^= 0xff                                    // bit rot: dropped at replay
+	data = append(data, []byte("torn-partial-tail")...) // torn tail: resealed at open
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := stats.New()
+	_, ts, down := bootServer(t, dir, Config{QueueDepth: 4, Jobs: 1, CacheSize: 4, Stats: st})
+	defer settle(t, base)
+	defer down()
+	status, body := get(t, ts.Client(), ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, want := range []string{
+		"hlts_server_store_corrupt_dropped 1",
+		"hlts_server_store_torn_resealed 1",
+		"hlts_server_store_records 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -86,6 +86,12 @@ type Config struct {
 	// owns the store and closes it after Drain. Store faults degrade to
 	// recomputes (counted as server.store.error), never failed requests.
 	Store *store.Store
+	// PeerFetch, when non-nil, is the read-repair hook consulted on a
+	// full cache+store miss before the job computes: a replication peer
+	// that already holds the record answers it, and the bytes are written
+	// through locally before publishing. It runs on a job worker (never
+	// under the admission mutex); failures degrade to the recompute.
+	PeerFetch PeerFetchFunc
 	// Stats receives the server's counters, timers and latency
 	// histograms; a fresh collector is created when nil.
 	Stats *stats.Stats
@@ -134,7 +140,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		st:     cfg.Stats,
-		q:      newQueue(cfg.QueueDepth, outer, cfg.CacheSize, cfg.Stats, cfg.Store),
+		q:      newQueue(cfg.QueueDepth, outer, cfg.CacheSize, cfg.Stats, cfg.Store, cfg.PeerFetch),
 		inner:  inner,
 		mux:    http.NewServeMux(),
 		jitter: rand.New(rand.NewSource(cfg.RetryJitterSeed)),
@@ -142,6 +148,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/synthesize", s.guarded("synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("POST /v1/testdesign", s.guarded("testdesign", s.handleTestDesign))
 	s.mux.HandleFunc("GET /v1/table/{bench}", s.guarded("table", s.handleTable))
+	s.mux.HandleFunc("GET /store/v1/digest", s.guarded("store.digest", s.handleStoreDigest))
+	s.mux.HandleFunc("GET /store/v1/pull", s.guarded("store.pull", s.handleStorePull))
+	s.mux.HandleFunc("GET /store/v1/record", s.guarded("store.record", s.handleStoreRecord))
+	s.mux.HandleFunc("POST /store/v1/push", s.guarded("store.push", s.handleStorePush))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -173,12 +183,21 @@ type Snapshot struct {
 	StoreHitRate float64
 	// JobsRun counts pipeline executions since boot.
 	JobsRun int64
+	// HasStore reports whether a persistent store is attached; the store
+	// fields below are zero without one.
+	HasStore bool
+	// StoreRecords and StoreLiveBytes summarize the persistent store, and
+	// StoreCursor is its end-of-log position — together the replication
+	// state a peer needs to judge lag.
+	StoreRecords   int
+	StoreLiveBytes int64
+	StoreCursor    store.Cursor
 }
 
 // Snapshot reads the server's live utilization.
 func (s *Server) Snapshot() Snapshot {
 	queued, inflight := s.q.depth()
-	return Snapshot{
+	snap := Snapshot{
 		Queued:       queued,
 		Inflight:     inflight,
 		QueueDepth:   s.cfg.QueueDepth,
@@ -187,6 +206,14 @@ func (s *Server) Snapshot() Snapshot {
 		StoreHitRate: s.st.HitRate("server.store"),
 		JobsRun:      s.st.Value("server.jobs.run"),
 	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		snap.HasStore = true
+		snap.StoreRecords = st.Records
+		snap.StoreLiveBytes = st.LiveBytes
+		snap.StoreCursor = st.Cursor
+	}
+	return snap
 }
 
 // Drain shuts the server down gracefully: new requests are rejected with
@@ -533,6 +560,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE hlts_server_store_records gauge\nhlts_server_store_records %d\n", st.Records)
 		fmt.Fprintf(w, "# TYPE hlts_server_store_live_bytes gauge\nhlts_server_store_live_bytes %d\n", st.LiveBytes)
 		fmt.Fprintf(w, "# TYPE hlts_server_store_dead_bytes gauge\nhlts_server_store_dead_bytes %d\n", st.DeadBytes)
+		fmt.Fprintf(w, "# TYPE hlts_server_store_corrupt_dropped counter\nhlts_server_store_corrupt_dropped %d\n", st.DroppedCorrupt)
+		fmt.Fprintf(w, "# TYPE hlts_server_store_torn_resealed counter\nhlts_server_store_torn_resealed %d\n", st.TornResealed)
 	}
 	s.st.WriteText(w)
 }

@@ -359,7 +359,7 @@ func TestAdmissionControl(t *testing.T) {
 func TestDroppedConnectionCancelsJob(t *testing.T) {
 	base := runtime.NumGoroutine()
 	st := stats.New()
-	q := newQueue(4, 1, -1, st, nil)
+	q := newQueue(4, 1, -1, st, nil, nil)
 	j, _, err := q.submit(fpOf("orphan"), "synthesize", time.Minute, func(ctx context.Context) (int, []byte, bool) {
 		<-ctx.Done() // runs until cancelled — the detach must stop it
 		return http.StatusOK, []byte("{}\n"), false
@@ -388,7 +388,7 @@ func TestDroppedConnectionCancelsJob(t *testing.T) {
 func TestDrainDegradesToPartial(t *testing.T) {
 	base := runtime.NumGoroutine()
 	st := stats.New()
-	q := newQueue(4, 1, -1, st, nil)
+	q := newQueue(4, 1, -1, st, nil, nil)
 	started := make(chan struct{})
 	j, _, err := q.submit(fpOf("slow"), "table", time.Minute, func(ctx context.Context) (int, []byte, bool) {
 		close(started)

@@ -63,7 +63,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -114,6 +116,47 @@ type Stats struct {
 	// at open (skipped during replay) or at Get (bit rot detected on
 	// read). Each was treated as a miss, never returned to a caller.
 	DroppedCorrupt int64
+	// TornResealed counts tail reseals: truncations of a torn partial
+	// record, either at open (trailing garbage after the last valid
+	// record) or before the append following a failed Put.
+	TornResealed int64
+	// Cursor is the end-of-log position (see Since); replication carries
+	// it in heartbeats so peers can observe lag.
+	Cursor Cursor
+}
+
+// Cursor identifies a position in the store's append order, used by
+// Since for incremental replication. Gen is the indexing epoch: it
+// changes whenever physical record positions may have changed (a reopen
+// or a compaction), invalidating any (Seg, Off) held by a reader — a
+// reader seeing an unfamiliar Gen restarts from the zero cursor, which
+// is safe because applies are idempotent (records are content-addressed
+// and values are deterministic functions of their key).
+type Cursor struct {
+	Gen uint64 `json:"gen"`
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Record is one (fingerprint, value) pair streamed by Since.
+type Record struct {
+	FP  core.Fingerprint
+	Val []byte
+}
+
+// Digest is a cheap whole-store summary for anti-entropy: two stores
+// with equal Records and XorFP hold the same live fingerprint set with
+// overwhelming probability, and End tells a puller where the log ends.
+type Digest struct {
+	// Gen is the current indexing epoch (see Cursor).
+	Gen uint64
+	// Records is the live record count.
+	Records int
+	// XorFP is the XOR of every live fingerprint — order-independent and
+	// maintained incrementally, so computing a digest is O(1).
+	XorFP core.Fingerprint
+	// End is the cursor one past the last appended record.
+	End Cursor
 }
 
 type segment struct {
@@ -136,14 +179,34 @@ type Store struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex
-	segs   []*segment // ascending id; last is active
-	index  map[core.Fingerprint]entry
-	live   int64
-	dead   int64
-	drops  int64
-	torn   bool // a failed append may have left a partial record on disk
-	closed bool
+	mu      sync.Mutex
+	segs    []*segment // ascending id; last is active
+	index   map[core.Fingerprint]entry
+	live    int64
+	dead    int64
+	drops   int64
+	reseals int64
+	xor     core.Fingerprint // XOR of live fingerprints (incremental digest)
+	gen     uint64           // indexing epoch; bumped when positions change
+	torn    bool             // a failed append may have left a partial record on disk
+	closed  bool
+}
+
+// genCounter decorrelates epochs minted within one nanosecond tick.
+var genCounter atomic.Uint64
+
+// newGen mints an indexing epoch: unique across reopens of the same
+// directory with overwhelming probability, never zero (so a zero-valued
+// Cursor is always "before everything").
+func newGen() uint64 {
+	x := uint64(time.Now().UnixNano()) + genCounter.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	if x == 0 {
+		x = 1
+	}
+	return x
 }
 
 // Open opens (creating if needed) the store directory at dir, replays
@@ -156,7 +219,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts, index: map[core.Fingerprint]entry{}}
+	s := &Store{dir: dir, opts: opts, index: map[core.Fingerprint]entry{}, gen: newGen()}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log*"))
 	if err != nil {
 		return nil, err
@@ -237,6 +300,7 @@ func (s *Store) openSegment(path string, id uint64) (*segment, error) {
 			f.Close()
 			return nil, err
 		}
+		s.reseals++
 	}
 	return seg, nil
 }
@@ -305,9 +369,19 @@ func (s *Store) indexPut(fp core.Fingerprint, e entry) {
 	if old, ok := s.index[fp]; ok {
 		s.live -= old.total
 		s.dead += old.total
+	} else {
+		s.xorFP(fp)
 	}
 	s.index[fp] = e
 	s.live += e.total
+}
+
+// xorFP folds fp into (or out of — XOR is its own inverse) the
+// incremental live-set digest.
+func (s *Store) xorFP(fp core.Fingerprint) {
+	for i := range s.xor {
+		s.xor[i] ^= fp[i]
+	}
 }
 
 func (s *Store) createSegment(id uint64) (*segment, error) {
@@ -370,6 +444,7 @@ func (s *Store) Put(fp core.Fingerprint, val []byte) error {
 			return err
 		}
 		s.torn = false
+		s.reseals++
 	}
 	rec := encodeRecord(fp, val)
 	// Chaos: a torn write lands a prefix of the record with no way to tell
@@ -472,6 +547,7 @@ func (s *Store) getLocked(fp core.Fingerprint) ([]byte, bool) {
 
 func (s *Store) dropLocked(fp core.Fingerprint, e entry) {
 	delete(s.index, fp)
+	s.xorFP(fp)
 	s.live -= e.total
 	s.dead += e.total
 	s.drops++
@@ -595,7 +671,82 @@ func (s *Store) compactLocked() error {
 	s.segs = []*segment{compacted, s.active()}
 	s.dead = 0
 	s.live = off + s.liveIn(s.active())
+	// Record positions moved: any (Seg, Off) cursor held by a replication
+	// reader is now meaningless. A new epoch makes readers restart.
+	s.gen = newGen()
 	return nil
+}
+
+// endLocked is the cursor one past the last appended record.
+func (s *Store) endLocked() Cursor {
+	a := s.active()
+	return Cursor{Gen: s.gen, Seg: a.id, Off: a.size}
+}
+
+// Digest returns the O(1) anti-entropy summary of the live record set.
+func (s *Store) Digest() Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Digest{Gen: s.gen, Records: len(s.index), XorFP: s.xor, End: s.endLocked()}
+}
+
+// Since streams live records appended at or after cursor c in log order,
+// bounded by maxRecords (<=0 means 256) and maxBytes of values (<=0
+// means 1 MiB; at least one record is always returned if any is
+// pending). It returns the batch, the cursor to resume from, and
+// whether more records remain. A cursor from a different epoch (reopen
+// or compaction — see Cursor) restarts from the beginning. Each record
+// is re-read and checksum-verified like Get; a corrupt record is
+// dropped, never streamed.
+func (s *Store) Since(c Cursor, maxRecords int, maxBytes int64) ([]Record, Cursor, bool) {
+	if maxRecords <= 0 {
+		maxRecords = 256
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, c, false
+	}
+	if c.Gen != s.gen {
+		c = Cursor{Gen: s.gen}
+	}
+	type pos struct {
+		fp core.Fingerprint
+		e  entry
+	}
+	var pend []pos
+	for fp, e := range s.index {
+		if e.seg.id > c.Seg || (e.seg.id == c.Seg && e.off >= c.Off) {
+			pend = append(pend, pos{fp, e})
+		}
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].e.seg.id != pend[j].e.seg.id {
+			return pend[i].e.seg.id < pend[j].e.seg.id
+		}
+		return pend[i].e.off < pend[j].e.off
+	})
+	var recs []Record
+	var vbytes int64
+	next := c
+	for i, p := range pend {
+		v, ok := s.getLocked(p.fp)
+		if !ok {
+			continue // dropped as corrupt; the positions after it still stream
+		}
+		recs = append(recs, Record{FP: p.fp, Val: v})
+		next = Cursor{Gen: s.gen, Seg: p.e.seg.id, Off: p.e.off + p.e.total}
+		vbytes += int64(len(v))
+		if len(recs) >= maxRecords || vbytes >= maxBytes {
+			return recs, next, i+1 < len(pend)
+		}
+	}
+	// Drained: jump the cursor to the end of the log so the caller's next
+	// call is a cheap no-op.
+	return recs, s.endLocked(), false
 }
 
 // Stats reports the store's physical state.
@@ -608,6 +759,8 @@ func (s *Store) Stats() Stats {
 		LiveBytes:      s.live,
 		DeadBytes:      s.dead,
 		DroppedCorrupt: s.drops,
+		TornResealed:   s.reseals,
+		Cursor:         s.endLocked(),
 	}
 }
 
