@@ -25,15 +25,16 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/chaos"
 	"repro/internal/dfg"
+	"repro/internal/dfggen"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
 
-var tableBench = map[int]string{1: dfg.BenchEx, 2: dfg.BenchDct, 3: dfg.BenchDiffeq}
+var tableBench = map[int]string{1: dfg.BenchEx, 2: dfg.BenchDct, 3: dfg.BenchDiffeq, 4: dfg.BenchEWF}
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "reproduce one table (1 = Ex, 2 = Dct, 3 = Diffeq)")
+		table    = flag.Int("table", 0, "reproduce one table (1 = Ex, 2 = Dct, 3 = Diffeq, 4 = EWF)")
 		benchFlg = flag.String("bench", "", "run the table for an arbitrary benchmark (ewf, paulin, tseng, ...)")
 		figure   = flag.Int("figure", 0, "reproduce one figure (1 = SR demo, 2 = Ex schedule, 3 = Dct+Diffeq schedules)")
 		sweep    = flag.Bool("sweep", false, "run the (k, alpha, beta) parameter sweep")
@@ -53,6 +54,16 @@ func main() {
 		resume   = flag.String("resume", "", "deprecated alias for -store (a legacy single-file journal at this path is migrated in place)")
 		valFlg   = flag.Bool("validate", false, "run the structural invariant checkers on every cell's design and netlist")
 		chaosFl  = flag.String("chaos", "", "fault-injection spec, a recovery-path test hook: seed=N;site=action[:prob];... (see internal/chaos)")
+
+		gen       = flag.Int("gen", 0, "run the generated-suite table over N seeded synthetic behaviours (see internal/dfggen)")
+		genSeed   = flag.Uint64("gen-seed", 1, "base seed of the generated suite; behaviour i uses seed base+i")
+		genOps    = flag.Int("gen-ops", 24, "operation count of each generated behaviour")
+		genMix    = flag.String("gen-mix", "mixed", "op-kind mix: arith, mul, logic, cmp, mixed, diffeq")
+		genShape  = flag.String("gen-shape", "mesh", "DAG shape: mesh, wide, deep, diamond")
+		genFanout = flag.Int("gen-fanout", 2, "fan-out hub bias 1..8")
+		genLoop   = flag.Bool("gen-loop", false, "append the Diffeq-style loop idiom to each generated behaviour")
+		genCond   = flag.Bool("gen-cond", false, "append a conditional-select idiom to each generated behaviour")
+		genMethod = flag.String("gen-method", "ours", "synthesis flow for the generated suite (camad, approach1, approach2, ours)")
 	)
 	flag.Parse()
 
@@ -132,8 +143,13 @@ func main() {
 		}
 	}
 	if *all || *table > 0 {
-		for n := 1; n <= 3; n++ {
+		for n := 1; n <= len(tableBench); n++ {
 			if !*all && *table != n {
+				continue
+			}
+			if *all && n > 3 {
+				// -all reproduces the paper's three tables; the EWF
+				// supplement (34 ops, heavy at 16 bits) stays opt-in.
 				continue
 			}
 			ran = true
@@ -218,6 +234,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(text)
+	}
+	if *gen > 0 {
+		ran = true
+		specs := make([]dfggen.Spec, *gen)
+		for i := range specs {
+			specs[i] = dfggen.Spec{
+				Seed: *genSeed + uint64(i), Ops: *genOps, Mix: *genMix,
+				Shape: *genShape, Fanout: *genFanout, Loop: *genLoop, Cond: *genCond,
+			}
+		}
+		fmt.Printf("--- Generated suite (%d behaviours, seed %d) ---\n", *gen, *genSeed)
+		suite, err := report.RunGenSuiteCtx(ctx, specs, *genMethod, ws[0], cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *markdown {
+			fmt.Println(suite.Markdown())
+		} else {
+			fmt.Println(suite.Render())
+		}
 	}
 	if !ran {
 		flag.Usage()

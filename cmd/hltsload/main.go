@@ -1,0 +1,145 @@
+// Command hltsload is an open-loop HTTP load driver for hltsd and
+// hltsc: it materializes a deterministic request schedule from a named
+// mix profile (see internal/loadgen) and drives it at a fixed arrival
+// rate, classifying every response and verifying that repeat requests
+// answer byte-identically.
+//
+//	hltsload -addr http://127.0.0.1:8080 -profile mixed -rate 10 -duration 20s
+//	hltsload -addr ... -profile repeat-heavy -rate 25 -duration 8s \
+//	         -require-typed -min-hit-rate 0.9 -out load_repeat.json
+//
+// The same (profile, seed, rate, duration) always issues the identical
+// request stream, so a run from a CI log can be replayed anywhere. With
+// -out the run summary is written as JSON (throughput, exact p50/p99
+// latency quantiles, outcome class counts, /metrics hit-rate deltas);
+// tools/benchjson -load converts summaries into the BENCH_load.json
+// record CI pins.
+//
+// Exit status: 0 on success, 1 on operational errors, 2 when an
+// assertion flag (-require-typed, -min-hit-rate, identity) fails.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "base URL of the hltsd/hltsc service (required), e.g. http://127.0.0.1:8080")
+		profile = flag.String("profile", loadgen.ProfileMixed, "mix profile: "+strings.Join(loadgen.Profiles(), ", "))
+		rate    = flag.Float64("rate", 10, "mean arrival rate, requests/second (open loop)")
+		dur     = flag.Duration("duration", 20*time.Second, "arrival window; the run drains in-flight requests after it")
+		reqs    = flag.Int("requests", 0, "issue exactly N requests instead of filling -duration")
+		conc    = flag.Int("concurrency", 16, "max in-flight requests; the schedule lags rather than skips at the cap")
+		seed    = flag.Uint64("seed", 1, "schedule seed; same (profile, seed, rate, duration) replays the identical request stream")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+		out     = flag.String("out", "", "write the run summary as JSON to this file")
+		noScr   = flag.Bool("no-scrape", false, "skip the /metrics before/after scrape (for targets without server counters)")
+
+		requireTyped = flag.Bool("require-typed", false, "exit 2 if any response is untyped (non-2xx without a JSON error body) or a transport error")
+		minHitRate   = flag.Float64("min-hit-rate", 0, "exit 2 if the scraped cache+coalesce+store hit rate is below this fraction (0 disables)")
+		allowDiff    = flag.Bool("allow-identity-violations", false, "do not fail when repeat requests answer differently (they always should answer identically)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "hltsload: -addr is required")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	sched, err := loadgen.BuildSchedule(loadgen.ScheduleOptions{
+		Profile: *profile, Seed: *seed, Rate: *rate, Duration: *dur, Requests: *reqs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hltsload: %s: %d requests (%d unique) over %v at %.1f rps, seed %d\n",
+		*profile, len(sched.Requests), sched.UniqueKeys(), *dur, *rate, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sum, err := loadgen.Run(ctx, sched, loadgen.Options{
+		BaseURL:        strings.TrimRight(*addr, "/"),
+		Concurrency:    *conc,
+		RequestTimeout: *timeout,
+		Scrape:         !*noScr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	report(sum)
+	if *out != "" {
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := false
+	if *requireTyped {
+		if n := sum.Untyped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hltsload: FAIL: %d untyped responses\n", n)
+			failed = true
+		}
+		if n := sum.Classes[loadgen.ClassTransport]; n > 0 {
+			fmt.Fprintf(os.Stderr, "hltsload: FAIL: %d transport errors\n", n)
+			failed = true
+		}
+	}
+	if *minHitRate > 0 {
+		if !sum.Scraped {
+			fmt.Fprintln(os.Stderr, "hltsload: FAIL: -min-hit-rate needs the /metrics scrape")
+			failed = true
+		} else if sum.HitRate < *minHitRate {
+			fmt.Fprintf(os.Stderr, "hltsload: FAIL: hit rate %.3f below %.3f\n", sum.HitRate, *minHitRate)
+			failed = true
+		}
+	}
+	if sum.IdentityViolations > 0 && !*allowDiff {
+		fmt.Fprintf(os.Stderr, "hltsload: FAIL: %d identity violations on repeat requests\n", sum.IdentityViolations)
+		failed = true
+	}
+	if failed {
+		os.Exit(2)
+	}
+}
+
+func report(s *loadgen.Summary) {
+	fmt.Printf("profile %s seed %d: sent %d/%d in %.1fs (%.1f rps, max lag %.0fms)\n",
+		s.Profile, s.Seed, s.Sent, s.Requests, s.DurationS, s.Throughput, s.MaxLagMS)
+	fmt.Printf("classes:")
+	for _, class := range []string{loadgen.ClassOK, loadgen.ClassPartial, loadgen.ClassRejected, loadgen.ClassDraining, loadgen.ClassError, loadgen.ClassUntyped, loadgen.ClassTransport} {
+		if n := s.Classes[class]; n > 0 {
+			fmt.Printf(" %s=%d", class, n)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f mean=%.1f\n",
+		s.Latency.P50, s.Latency.P90, s.Latency.P99, s.Latency.Max, s.Latency.Mean)
+	if s.Scraped {
+		fmt.Printf("server: hit rate %.3f (%.0f hits / %.0f admitted), %.0f pipeline runs\n",
+			s.HitRate, s.CacheHits, s.Admitted, s.JobsRun)
+	}
+	if s.IdentityViolations > 0 {
+		fmt.Printf("identity violations: %d\n", s.IdentityViolations)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hltsload:", err)
+	os.Exit(1)
+}

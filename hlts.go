@@ -33,6 +33,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/dfggen"
 	"repro/internal/exec"
 	"repro/internal/hdl"
 	"repro/internal/report"
@@ -118,6 +119,30 @@ func Benchmarks() []string { return dfg.BenchmarkNames() }
 
 // LoadBenchmark constructs a built-in benchmark at the given bit width.
 func LoadBenchmark(name string, width int) (*Graph, error) { return dfg.ByName(name, width) }
+
+// GenSpec parameterizes a seeded synthetic benchmark (see
+// internal/dfggen). Specs render to "gen:..." names via GenSpec.Name,
+// and LoadBenchmark resolves those names, so a generated behaviour is
+// addressable everywhere a built-in benchmark is — including the
+// daemon's `bench` request field.
+type GenSpec = dfggen.Spec
+
+// ErrBadGenSpec tags malformed generator specs and "gen:" names.
+var ErrBadGenSpec = dfggen.ErrBadSpec
+
+// GenerateBenchmark builds the graph for a generator spec at the given
+// width. Same (spec, width) always yields a byte-identical graph.
+func GenerateBenchmark(spec GenSpec, width int) (*Graph, error) {
+	return dfggen.Generate(spec, width)
+}
+
+// ParseGenBenchmark decodes a canonical "gen:..." benchmark name.
+func ParseGenBenchmark(name string) (GenSpec, error) { return dfggen.Parse(name) }
+
+// GenLoopSignal returns the loop-exit value name for a looping
+// generated benchmark name ("" otherwise); callers use it to default
+// Params.LoopSignal the same way diffeq is special-cased.
+func GenLoopSignal(name string) string { return dfggen.LoopSignal(name) }
 
 // CompileVHDL compiles a behavioural VHDL-subset description into a
 // data-flow graph.

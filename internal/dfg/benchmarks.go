@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // This file encodes the high-level synthesis benchmark suite the paper
@@ -47,10 +49,43 @@ func CheckWidth(width int) error {
 	return nil
 }
 
+// resolvers maps benchmark-name namespaces ("<ns>:<rest>") to registered
+// constructors; see RegisterResolver.
+var (
+	resolverMu sync.RWMutex
+	resolvers  = map[string]func(name string, width int) (*Graph, error){}
+)
+
+// RegisterResolver installs a constructor for benchmark names of the form
+// "<ns>:<rest>". ByName dispatches any name containing a ':' to the
+// resolver registered for its namespace, so packages layered above dfg
+// (e.g. the seeded graph generator in internal/dfggen, which registers
+// "gen") can make whole families of behaviours addressable wherever a
+// benchmark name is accepted — the facade, the daemon's `bench` field,
+// the experiment tables — without new entry points. Registration happens
+// in package init; registering a namespace twice panics.
+func RegisterResolver(ns string, fn func(name string, width int) (*Graph, error)) {
+	resolverMu.Lock()
+	defer resolverMu.Unlock()
+	if _, dup := resolvers[ns]; dup {
+		panic(fmt.Sprintf("dfg: benchmark namespace %q registered twice", ns))
+	}
+	resolvers[ns] = fn
+}
+
 // ByName constructs the named benchmark at the given bit width.
 func ByName(name string, width int) (*Graph, error) {
 	if err := CheckWidth(width); err != nil {
 		return nil, err
+	}
+	if i := strings.IndexByte(name, ':'); i > 0 {
+		resolverMu.RLock()
+		fn := resolvers[name[:i]]
+		resolverMu.RUnlock()
+		if fn != nil {
+			return fn(name, width)
+		}
+		return nil, fmt.Errorf("%w %q", ErrUnknownBenchmark, name)
 	}
 	switch name {
 	case BenchEx:

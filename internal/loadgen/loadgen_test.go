@@ -1,0 +1,226 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	for _, profile := range Profiles() {
+		opts := ScheduleOptions{Profile: profile, Seed: 7, Rate: 50, Duration: 2 * time.Second}
+		a, err := BuildSchedule(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		b, err := BuildSchedule(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two builds of the same options differ", profile)
+		}
+		if len(a.Requests) == 0 {
+			t.Errorf("%s: empty schedule", profile)
+		}
+	}
+}
+
+// TestScheduleGolden pins the exact request stream of one configuration
+// with a checksum over (arrival, path, body) — the cross-platform
+// reproducibility contract: a schedule recorded in a bug report or CI
+// log can be re-driven anywhere.
+func TestScheduleGolden(t *testing.T) {
+	s, err := BuildSchedule(ScheduleOptions{Profile: ProfileMixed, Seed: 42, Rate: 100, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, r := range s.Requests {
+		fmt.Fprintf(h, "%d|%s|%s\n", r.At.Nanoseconds(), r.Path, r.Body)
+	}
+	const want uint64 = 0xbc17a2a76ba0daca
+	if got := h.Sum64(); got != want {
+		t.Errorf("schedule checksum %#016x, want %#016x (first req: %+v)", got, want, s.Requests[0])
+	}
+}
+
+func TestScheduleRequestCountMode(t *testing.T) {
+	s, err := BuildSchedule(ScheduleOptions{Profile: ProfileRepeat, Seed: 3, Rate: 200, Requests: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Requests) != 48 {
+		t.Fatalf("got %d requests, want 48", len(s.Requests))
+	}
+	if u := s.UniqueKeys(); u > 8 {
+		t.Errorf("repeat-heavy drew %d unique keys, want <= 8 (pool size)", u)
+	}
+}
+
+func TestScheduleArrivalsMonotone(t *testing.T) {
+	s, err := BuildSchedule(ScheduleOptions{Profile: ProfileInteractive, Seed: 1, Rate: 20, Duration: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Second / 20
+	var prev time.Duration = -1
+	for i, r := range s.Requests {
+		if r.At <= prev && i > 0 {
+			t.Fatalf("arrival %d not strictly increasing: %v after %v", i, r.At, prev)
+		}
+		if i > 0 {
+			gap := r.At - prev
+			if gap < base/2 || gap >= base+base/2 {
+				t.Fatalf("gap %v outside [base/2, 3base/2) for base %v", gap, base)
+			}
+		}
+		prev = r.At
+	}
+	// ~20 rps for 3s: expect close to 60 requests (jitter is symmetric).
+	if n := len(s.Requests); n < 45 || n > 75 {
+		t.Errorf("got %d requests for 20 rps x 3s", n)
+	}
+}
+
+func TestProfileProperties(t *testing.T) {
+	build := func(profile string) *Schedule {
+		s, err := BuildSchedule(ScheduleOptions{Profile: profile, Seed: 11, Rate: 100, Requests: 200})
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		return s
+	}
+
+	adv := build(ProfileAdversarial)
+	if u := adv.UniqueKeys(); u != len(adv.Requests) {
+		t.Errorf("adversarial-unique: %d unique keys of %d requests, want all unique", u, len(adv.Requests))
+	}
+
+	inter := build(ProfileInteractive)
+	if u := inter.UniqueKeys(); u > 32 {
+		t.Errorf("interactive-small: %d unique keys, want <= 32", u)
+	}
+
+	batch := build(ProfileBatch)
+	sawTD, sawDeadline := false, false
+	for _, r := range batch.Requests {
+		if r.Path == "/v1/testdesign" {
+			sawTD = true
+			if !strings.Contains(string(r.Body), `"bench":"ewf"`) {
+				t.Errorf("batch testdesign not EWF: %s", r.Body)
+			}
+		}
+		if strings.Contains(string(r.Body), `"deadline_ms":4000`) {
+			sawDeadline = true
+		}
+	}
+	if !sawTD || !sawDeadline {
+		t.Errorf("batch-deep missing testdesign (%v) or deadline (%v) requests", sawTD, sawDeadline)
+	}
+
+	mixed := build(ProfileMixed)
+	classes := map[string]int{}
+	for _, r := range mixed.Requests {
+		classes[r.Class]++
+	}
+	if classes[ProfileInteractive] == 0 || classes[ProfileRepeat] == 0 || classes[ProfileBatch] == 0 || classes[ProfileAdversarial] == 0 {
+		t.Errorf("mixed profile missing a class: %v", classes)
+	}
+	if classes[ProfileInteractive] <= classes[ProfileBatch] {
+		t.Errorf("mixed profile not interactive-dominated: %v", classes)
+	}
+
+	// Every generated bench name in every profile must parse and load.
+	for _, profile := range Profiles() {
+		for _, r := range build(profile).Requests[:10] {
+			var req server.SynthesizeRequest
+			if r.Path != "/v1/synthesize" {
+				continue
+			}
+			if err := json.Unmarshal(r.Body, &req); err != nil {
+				t.Fatalf("%s: body not a synthesize request: %v", profile, err)
+			}
+			if _, err := req.Normalize(); err != nil {
+				t.Errorf("%s: request does not normalize: %v (%s)", profile, err, r.Body)
+			}
+		}
+	}
+}
+
+func TestBuildScheduleErrors(t *testing.T) {
+	if _, err := BuildSchedule(ScheduleOptions{Profile: "nope", Rate: 1, Duration: time.Second}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := BuildSchedule(ScheduleOptions{Profile: ProfileMixed}); err == nil {
+		t.Error("missing rate/duration accepted")
+	}
+}
+
+// TestRunAgainstServer drives a real in-process server with the
+// repeat-heavy profile: all typed outcomes, zero identity violations,
+// and — because the pool is 8 specs — a high scraped hit rate with
+// jobs_run bounded by the pool size.
+func TestRunAgainstServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a server and synthesizes; skipped in -short")
+	}
+	s := server.New(server.Config{QueueDepth: 64, Jobs: 2, CacheSize: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sched, err := BuildSchedule(ScheduleOptions{Profile: ProfileRepeat, Seed: 5, Rate: 400, Requests: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(context.Background(), sched, Options{
+		BaseURL: ts.URL, Client: ts.Client(), Concurrency: 8, Scrape: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sent != 64 {
+		t.Errorf("sent %d of 64", sum.Sent)
+	}
+	if got := sum.Classes[ClassOK]; got != 64 {
+		t.Errorf("ok=%d of 64 (classes: %v)", got, sum.Classes)
+	}
+	if sum.Untyped() != 0 {
+		t.Errorf("untyped responses: %d", sum.Untyped())
+	}
+	if sum.IdentityViolations != 0 {
+		t.Errorf("identity violations: %d", sum.IdentityViolations)
+	}
+	if !sum.Scraped {
+		t.Fatal("metrics not scraped")
+	}
+	unique := float64(sched.UniqueKeys())
+	if sum.JobsRun > unique {
+		t.Errorf("jobs_run %.0f exceeds unique keys %.0f", sum.JobsRun, unique)
+	}
+	// 64 requests over <= 8 unique specs: at least 56 served without a
+	// fresh pipeline run.
+	wantRate := (64 - unique) / 64
+	if sum.HitRate < wantRate {
+		t.Errorf("hit rate %.2f, want >= %.2f (hits %.0f / admitted %.0f)", sum.HitRate, wantRate, sum.CacheHits, sum.Admitted)
+	}
+	if len(sum.Bodies) == 0 || len(sum.Bodies) > int(unique) {
+		t.Errorf("bodies map has %d entries, want 1..%0.f", len(sum.Bodies), unique)
+	}
+	if sum.Latency.P99 < sum.Latency.P50 {
+		t.Errorf("quantiles inverted: %+v", sum.Latency)
+	}
+
+	// The summary must marshal (hltsload writes it as BENCH_load input).
+	if _, err := json.Marshal(sum); err != nil {
+		t.Errorf("summary marshal: %v", err)
+	}
+}

@@ -1,0 +1,346 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Outcome classes. Every response must land in a typed class; Untyped
+// counts responses that violate the service's error contract (a non-2xx
+// without a JSON error body), which the CI smoke treats as a failure.
+const (
+	ClassOK        = "ok"      // 200, complete result
+	ClassPartial   = "partial" // 200, best-so-far under an exhausted budget
+	ClassRejected  = "429"     // admission control with Retry-After
+	ClassDraining  = "503"     // draining / degraded
+	ClassError     = "error"   // other status with a typed JSON error body
+	ClassUntyped   = "untyped" // contract violation: no JSON error body
+	ClassTransport = "transport"
+)
+
+// Options configures a Run.
+type Options struct {
+	BaseURL string
+	// Concurrency caps in-flight requests (default 16). The schedule is
+	// open-loop: when the cap is hit, dispatch lags rather than skips,
+	// and the lag is reported.
+	Concurrency int
+	// RequestTimeout bounds each HTTP call (default 60s).
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Scrape, when true, reads /metrics before and after the run and
+	// reports cache/coalesce/store hit deltas.
+	Scrape bool
+	// Stats, when non-nil, receives per-request latency observations
+	// under "load.request" in addition to the Summary quantiles.
+	Stats *stats.Stats
+}
+
+// Latency summarizes request latencies in milliseconds. Quantiles are
+// exact (computed over the full sorted sample, not histogram buckets).
+type Latency struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Summary is the result of one load run — the payload behind
+// BENCH_load.json.
+type Summary struct {
+	Profile   string  `json:"profile"`
+	Seed      uint64  `json:"seed"`
+	Requests  int     `json:"requests"` // scheduled
+	Sent      int     `json:"sent"`     // actually dispatched
+	DurationS float64 `json:"duration_s"`
+	// Throughput counts completed HTTP exchanges (any class) per second.
+	Throughput float64        `json:"throughput_rps"`
+	Classes    map[string]int `json:"classes"`
+	// IdentityViolations counts repeat requests whose complete response
+	// differed byte-for-byte from the first complete response to the
+	// same key — always zero for a correct service.
+	IdentityViolations int     `json:"identity_violations"`
+	Latency            Latency `json:"latency"`
+	// MaxLagMS is the worst dispatch lag behind the open-loop schedule
+	// (concurrency cap or slow host); large values mean the offered rate
+	// exceeded what the driver could issue.
+	MaxLagMS float64 `json:"max_lag_ms"`
+
+	// Scraped /metrics deltas (present when Options.Scrape).
+	Scraped   bool    `json:"scraped"`
+	HitRate   float64 `json:"hit_rate"`   // (cache+store+coalesce hits) / admitted
+	JobsRun   float64 `json:"jobs_run"`   // pipeline executions during the run
+	CacheHits float64 `json:"cache_hits"` // LRU + store + coalesce
+	Admitted  float64 `json:"admitted"`
+
+	// Bodies holds the first complete response per request key, for
+	// differential comparisons between runs. Not serialized.
+	Bodies map[string][]byte `json:"-"`
+}
+
+// Untyped returns the count of contract-violating responses.
+func (s *Summary) Untyped() int { return s.Classes[ClassUntyped] }
+
+// respProbe decodes just enough of any endpoint's response to classify
+// it: synthesize responses carry status at the top level, testdesign
+// nests the synthesis block and adds atpg_status, errors carry error.
+type respProbe struct {
+	Status     string `json:"status"`
+	ATPGStatus string `json:"atpg_status"`
+	Synthesis  *struct {
+		Status string `json:"status"`
+	} `json:"synthesis"`
+	Error *string `json:"error"`
+}
+
+// Run drives the schedule against the service. The request *stream* is
+// deterministic; interleaving and outcome classes depend on timing, so
+// everything timing-dependent is reported, not asserted, here — tests
+// and the CI smoke assert on the summary.
+func Run(ctx context.Context, sched *Schedule, opts Options) (*Summary, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = 16
+	}
+	timeout := opts.RequestTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	sum := &Summary{
+		Profile:  sched.Profile,
+		Seed:     sched.Seed,
+		Requests: len(sched.Requests),
+		Classes:  map[string]int{},
+		Bodies:   map[string][]byte{},
+	}
+	var before map[string]float64
+	if opts.Scrape {
+		var err error
+		before, err = scrapeMetrics(client, opts.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: scrape before: %w", err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstBody = map[string][]byte{}
+	)
+	record := func(class string, key string, body []byte, complete bool, lat time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		sum.Classes[class]++
+		latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+		if complete {
+			if prev, ok := firstBody[key]; ok {
+				if !bytes.Equal(prev, body) {
+					sum.IdentityViolations++
+				}
+			} else {
+				firstBody[key] = body
+			}
+		}
+	}
+
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var maxLag time.Duration
+dispatch:
+	for _, req := range sched.Requests {
+		// Open-loop pacing: wait for the scheduled arrival, then for a
+		// concurrency slot. Time spent waiting for the slot is lag.
+		due := start.Add(req.At)
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		if lag := time.Since(due); lag > maxLag {
+			maxLag = lag
+		}
+		sum.Sent++
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			class, body, complete := doRequest(ctx, client, opts.BaseURL, req, timeout)
+			lat := time.Since(t0)
+			if opts.Stats != nil {
+				opts.Stats.Observe("load.request", lat.Seconds())
+			}
+			record(class, req.Key(), body, complete, lat)
+		}(req)
+	}
+	wg.Wait()
+	sum.DurationS = time.Since(start).Seconds()
+	sum.MaxLagMS = float64(maxLag) / float64(time.Millisecond)
+	if sum.DurationS > 0 {
+		sum.Throughput = float64(sum.Sent) / sum.DurationS
+	}
+	sum.Latency = summarizeLatency(latencies)
+	sum.Bodies = firstBody
+
+	if opts.Scrape {
+		after, err := scrapeMetrics(client, opts.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: scrape after: %w", err)
+		}
+		d := func(name string) float64 { return after[name] - before[name] }
+		cacheHits := d("hlts_server_cache_hit")
+		storeHits := d("hlts_server_store_hit")
+		coalesce := d("hlts_server_coalesce_hit")
+		misses := d("hlts_server_cache_miss")
+		sum.Scraped = true
+		sum.CacheHits = cacheHits + storeHits + coalesce
+		sum.Admitted = cacheHits + storeHits + misses
+		sum.JobsRun = d("hlts_server_jobs_run")
+		if sum.Admitted > 0 {
+			sum.HitRate = sum.CacheHits / sum.Admitted
+		}
+	}
+	return sum, nil
+}
+
+// doRequest issues one call and classifies the outcome. complete is
+// true only for 200 responses whose every status field says complete —
+// those are the byte-identity candidates.
+func doRequest(ctx context.Context, client *http.Client, base string, req Request, timeout time.Duration) (class string, body []byte, complete bool) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, base+req.Path, bytes.NewReader(req.Body))
+	if err != nil {
+		return ClassTransport, nil, false
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return ClassTransport, nil, false
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return ClassTransport, nil, false
+	}
+	var probe respProbe
+	typed := json.Unmarshal(body, &probe) == nil
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if !typed {
+			return ClassUntyped, body, false
+		}
+		partial := probe.Status == "partial" || probe.ATPGStatus == "partial"
+		if probe.Synthesis != nil && probe.Synthesis.Status == "partial" {
+			partial = true
+		}
+		if partial {
+			return ClassPartial, body, false
+		}
+		return ClassOK, body, true
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if !typed || probe.Error == nil || resp.Header.Get("Retry-After") == "" {
+			return ClassUntyped, body, false
+		}
+		return ClassRejected, body, false
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		if !typed || probe.Error == nil {
+			return ClassUntyped, body, false
+		}
+		return ClassDraining, body, false
+	default:
+		if !typed || probe.Error == nil {
+			return ClassUntyped, body, false
+		}
+		return ClassError, body, false
+	}
+}
+
+// scrapeMetrics reads the Prometheus text exposition and returns every
+// plain "name value" sample.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[name] += v
+	}
+	return out, sc.Err()
+}
+
+// summarizeLatency computes exact quantiles over the sample.
+func summarizeLatency(ms []float64) Latency {
+	if len(ms) == 0 {
+		return Latency{}
+	}
+	sort.Float64s(ms)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ms)-1))
+		return ms[i]
+	}
+	var total float64
+	for _, v := range ms {
+		total += v
+	}
+	return Latency{
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+		Max:  ms[len(ms)-1],
+		Mean: total / float64(len(ms)),
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/dfggen"
 	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/rtl"
@@ -125,12 +126,13 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// loopSignalFor names the loop condition of iterative benchmarks.
+// loopSignalFor names the loop condition of iterative benchmarks,
+// built-in or generated.
 func loopSignalFor(bench string) string {
 	if bench == dfg.BenchDiffeq || bench == dfg.BenchPaulin {
 		return "exit"
 	}
-	return ""
+	return dfggen.LoopSignal(bench)
 }
 
 // RunTable executes the full table for one benchmark: every method at

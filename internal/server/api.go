@@ -96,6 +96,10 @@ func (r SynthesizeRequest) Normalize() (*NormSynthesize, error) {
 	if p.LoopSignal == "" && (r.Bench == hlts.BenchDiffeq || r.Bench == hlts.BenchPaulin) {
 		p.LoopSignal = "exit"
 	}
+	if p.LoopSignal == "" {
+		// Generated benchmarks carry their loop structure in the name.
+		p.LoopSignal = hlts.GenLoopSignal(r.Bench)
+	}
 	n.Params = p
 	return n, nil
 }

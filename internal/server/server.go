@@ -350,7 +350,7 @@ func (s *Server) writeError(w http.ResponseWriter, kind string, start time.Time,
 // clientError classifies job-body errors: typed input errors are the
 // client's fault, everything else is a 500.
 func errStatus(err error) int {
-	if errors.Is(err, hlts.ErrBadWidth) || errors.Is(err, hlts.ErrUnknownBenchmark) {
+	if errors.Is(err, hlts.ErrBadWidth) || errors.Is(err, hlts.ErrUnknownBenchmark) || errors.Is(err, hlts.ErrBadGenSpec) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
